@@ -1,0 +1,150 @@
+// Ablation study of the simulator's own design choices (DESIGN.md §8):
+//
+//   (1) stream prefetcher on/off — shows why strided codes are bandwidth-
+//       rather than latency-bound (the Fig. 7/8 distinction hinges on it);
+//   (2) vector-fusion window — the "executed several times in a row"
+//       requirement of the paper's SIMD model: a tiny window collapses
+//       wide-vector gains to the inner-loop trip count;
+//   (3) runtime scheduler policy — FIFO vs LPT vs SPT on each app's region
+//       at 64 cores (imbalance tolerance of the simulated runtime);
+//   (4) network topology — crossbar vs bus vs 2-D torus vs fat-tree on the
+//       full-application wall time (the paper's claim that raw message
+//       passing is a minor overhead holds only on an adequate network).
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "cpusim/core_model.hpp"
+#include "cpusim/runtime.hpp"
+#include "dramsim/dram.hpp"
+#include "isa/vector_fusion.hpp"
+#include "netsim/dimemas.hpp"
+#include "trace/kernel.hpp"
+
+namespace {
+using namespace musa;
+
+// Scaled-down detail run mirroring the pipeline's reduced-scale settings.
+cpusim::CoreStats detail_run(const apps::AppModel& app, int vector_bits,
+                             bool prefetch) {
+  auto caches = cachesim::cache_32m_256k(1);
+  caches.l1.size_bytes /= 4;
+  caches.l2.size_bytes /= 8;
+  caches.l3.size_bytes = caches.l3.size_bytes / 8 / 40;
+  trace::KernelProfile prof = app.kernel;
+  prof.vec_ws_bytes /= 8;
+  for (auto& s : prof.streams)
+    s.ws_bytes = std::max<std::uint64_t>(256, s.ws_bytes / 8);
+  cachesim::MemHierarchy hierarchy(caches);
+  auto timing = dramsim::ddr4_2333();
+  timing.bytes_per_clock /= 40;
+  dramsim::DramSystem dram(timing, 4);
+  trace::KernelSource src(prof, 480'000, 7919 + 17);
+  // Functional warm-up.
+  isa::Instr in;
+  for (int i = 0; i < 320'000 && src.next(in); ++i)
+    if (isa::is_mem(in.op))
+      hierarchy.access(0, in.addr, in.op == isa::OpClass::kStore);
+  hierarchy.reset_stats();
+  cpusim::CoreModel core(cpusim::core_medium(), {2.0}, hierarchy, dram);
+  return core.run(src, {.vector_bits = vector_bits,
+                        .enable_prefetcher = prefetch});
+}
+
+void ablate_prefetcher() {
+  std::printf("(1) stream prefetcher (medium core, 2 GHz, per-core share)\n");
+  TextTable t({"app", "CPI off", "CPI on", "speed-up from prefetch"});
+  for (const auto& app : apps::registry()) {
+    const auto off = detail_run(app, 128, false);
+    const auto on = detail_run(app, 128, true);
+    const double cpi_off = off.cycles / off.scalar_instrs;
+    const double cpi_on = on.cycles / on.scalar_instrs;
+    t.row().cell(app.name).cell(cpi_off, 3).cell(cpi_on, 3).cell(
+        cpi_off / cpi_on, 2);
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablate_fusion_window() {
+  std::printf(
+      "(2) vector-fusion window (spmz, 512-bit): fused fraction vs window\n");
+  const auto& app = apps::find_app("spmz");
+  TextTable t({"window [instrs]", "full groups", "partial flushes",
+               "ops emitted"});
+  for (std::uint64_t window : {8ull, 64ull, 512ull, 4096ull, 32768ull}) {
+    trace::KernelSource src(app.kernel, 50'000);
+    isa::VectorFusion fusion(src, 512, 64, window);
+    isa::FusedInstr op;
+    while (fusion.next(op)) {
+    }
+    t.row()
+        .cell(static_cast<long long>(window))
+        .cell(static_cast<long long>(fusion.stats().full_groups))
+        .cell(static_cast<long long>(fusion.stats().partial_flushes))
+        .cell(static_cast<long long>(fusion.stats().out_instrs));
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablate_scheduler() {
+  std::printf("(3) runtime scheduler policy (64 cores, region makespan)\n");
+  TextTable t({"app", "fifo [ms]", "lpt [ms]", "spt [ms]", "lpt gain"});
+  const std::vector<cpusim::TaskTiming> timing = {
+      {.seconds_per_work = 20e-6, .mem_stall_frac = 0.0, .dram_gbps = 0.0}};
+  for (const auto& app : apps::registry()) {
+    const trace::Region region = apps::make_region(app);
+    cpusim::RuntimeSim sim;
+    double results[3] = {};
+    int i = 0;
+    for (auto policy : {cpusim::SchedPolicy::kFifo, cpusim::SchedPolicy::kLpt,
+                        cpusim::SchedPolicy::kSpt}) {
+      cpusim::RuntimeConfig cfg;
+      cfg.cores = 64;
+      cfg.dispatch_overhead_s = app.dispatch_overhead_s;
+      cfg.policy = policy;
+      results[i++] = sim.run(region, timing, cfg).seconds;
+    }
+    t.row()
+        .cell(app.name)
+        .cell(results[0] * 1e3, 3)
+        .cell(results[1] * 1e3, 3)
+        .cell(results[2] * 1e3, 3)
+        .cell(results[0] / results[1], 3);
+  }
+  std::printf("%s\n", t.str().c_str());
+}
+
+void ablate_topology() {
+  std::printf("(4) network topology (full app, 256 ranks x 64 cores)\n");
+  TextTable t({"app", "crossbar [ms]", "fat-tree [ms]", "torus2d [ms]",
+               "bus [ms]"});
+  for (const auto& app : apps::registry()) {
+    t.row().cell(app.name);
+    for (auto topo : {netsim::Topology::kCrossbar, netsim::Topology::kFatTree,
+                      netsim::Topology::kTorus2D, netsim::Topology::kBus}) {
+      core::PipelineOptions opts;
+      opts.network.topology = topo;
+      core::Pipeline pipeline(opts);
+      const core::BurstResult r = pipeline.run_burst(app, 64, 256);
+      t.cell(r.wall_seconds * 1e3, 2);
+    }
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "On crossbar/fat-tree/torus the wall times barely move — transfer is\n"
+      "a minor overhead, as the paper observes on MareNostrum. A single\n"
+      "shared bus, by contrast, serialises the halo exchange.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MUSA-DSE model ablations\n\n");
+  ablate_prefetcher();
+  ablate_fusion_window();
+  ablate_scheduler();
+  ablate_topology();
+  return 0;
+}

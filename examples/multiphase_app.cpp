@@ -1,0 +1,105 @@
+// Multi-region application: MUSA tags every compute burst with its region
+// id and simulates each region's kernel separately (paper §II identifies
+// "the different computation phases for each rank"). This example builds a
+// two-phase CFD-style timestep:
+//
+//   region 0 — flux computation: compute-bound, vectorisable, many tasks;
+//   region 1 — implicit boundary solve: irregular, memory-latency-bound,
+//              few coarse tasks.
+//
+// and shows how the two regions respond differently to the same node, which
+// no single-phase model can capture.
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "core/pipeline.hpp"
+
+int main() {
+  using namespace musa;
+
+  apps::AppModel cfd;
+  cfd.name = "minicfd";
+
+  // --- Region 0 (primary): flux sweeps -------------------------------------
+  cfd.kernel.name = "flux_sweep";
+  cfd.kernel.vec_body = {.loads = 3, .fp_add = 3, .fp_mul = 3, .stores = 1};
+  cfd.kernel.vec_trip = 48;
+  cfd.kernel.vec_ws_bytes = 128 * kKiB;
+  cfd.kernel.scalar_tail = {.int_alu = 20, .int_mul = 1, .fp_add = 8,
+                            .fp_mul = 8, .fp_div = 1, .loads = 24,
+                            .stores = 10, .branches = 5};
+  cfd.kernel.ilp_chains = 6;
+  cfd.kernel.streams = {
+      {.share = 0.20, .ws_bytes = 48 * kKiB, .stride = 64},
+      {.share = 0.80, .ws_bytes = 24 * kKiB, .stride = 8},
+  };
+  cfd.task_instrs = 300e3;
+  cfd.tasks_per_region = 512;
+  cfd.task_imbalance = 0.06;
+  cfd.ref_region_seconds = 10e-3;
+
+  // --- Region 1: implicit boundary solve -----------------------------------
+  apps::Phase solve;
+  solve.name = "boundary_solve";
+  solve.kernel.name = "boundary_solve";
+  solve.kernel.vec_trip = 0;  // not vectorisable
+  solve.kernel.scalar_tail = {.int_alu = 40, .int_mul = 3, .fp_add = 30,
+                              .fp_mul = 30, .fp_div = 4, .loads = 60,
+                              .stores = 20, .branches = 12};
+  solve.kernel.ilp_chains = 1;  // long solver recurrences
+  solve.kernel.streams = {
+      {.share = 0.10, .ws_bytes = 2 * kMiB, .stride = 0},  // irregular
+      {.share = 0.90, .ws_bytes = 24 * kKiB, .stride = 8},
+  };
+  solve.task_instrs = 1.2e6;
+  solve.tasks_per_region = 24;  // few coarse solver tasks
+  solve.task_imbalance = 0.20;
+  solve.ref_region_seconds = 6e-3;
+  cfd.extra_phases.push_back(solve);
+
+  // MPI structure.
+  cfd.iterations = 8;
+  cfd.rank_imbalance = 0.05;
+  cfd.p2p_bytes = 512 * 1024;
+  cfd.allreduce = true;
+  cfd.barrier = false;
+
+  std::printf("Two-region application '%s' (%zu regions per timestep)\n\n",
+              cfd.name.c_str(), cfd.phases().size());
+
+  core::Pipeline pipeline;
+
+  // Per-region hardware-agnostic scaling: the flux region scales, the
+  // boundary solve does not — visible only with per-region modelling.
+  std::printf("hardware-agnostic region scaling (speed-up vs 1 core):\n");
+  TextTable scaling({"cores", "whole timestep", "note"});
+  const core::BurstResult serial = pipeline.run_burst(cfd, 1, 64);
+  for (int cores : {16, 32, 64}) {
+    const core::BurstResult b = pipeline.run_burst(cfd, cores, 64);
+    scaling.row()
+        .cell(static_cast<long long>(cores))
+        .cell(serial.region_seconds / b.region_seconds, 1)
+        .cell(cores > 24 ? "solve region saturated (24 tasks)" : "");
+  }
+  std::printf("%s\n", scaling.str().c_str());
+
+  std::printf("full pipeline across vector widths (the flux region is the\n"
+              "only vectorisable one, capping the whole-app gain):\n");
+  TextTable t({"machine", "region ms", "wall ms", "node W"});
+  for (int vec : {128, 256, 512}) {
+    core::MachineConfig config;
+    config.cores = 64;
+    config.vector_bits = vec;
+    config.ranks = 64;
+    const core::SimResult r = pipeline.run(cfd, config);
+    t.row()
+        .cell("64c / " + std::to_string(vec) + "b")
+        .cell(r.region_seconds * 1e3, 3)
+        .cell(r.wall_seconds * 1e3, 2)
+        .cell(r.node_w, 1);
+  }
+  std::printf("%s", t.str().c_str());
+  return 0;
+}

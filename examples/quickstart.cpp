@@ -1,0 +1,69 @@
+// Quickstart: simulate one application on one machine configuration with
+// the full MUSA multiscale pipeline and print every produced metric.
+//
+//   ./examples/quickstart [app] [cores]
+//
+// Defaults: lulesh on a 64-core node (medium OoO, 32M:256K caches, 2 GHz,
+// 128-bit SIMD, 4 DDR4 channels, 256 MPI ranks).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "common/table.hpp"
+#include "core/dse.hpp"
+#include "core/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  using namespace musa;
+
+  const std::string app_name = argc > 1 ? argv[1] : "lulesh";
+  const int cores = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  const apps::AppModel& app = apps::find_app(app_name);
+
+  core::MachineConfig config;  // Table I midpoint
+  config.cores = cores;
+
+  std::printf("MUSA-DSE quickstart\n");
+  std::printf("  application : %s\n", app.name.c_str());
+  std::printf("  machine     : %s\n\n", config.id().c_str());
+
+  core::Pipeline pipeline;
+
+  // Hardware-agnostic scaling first (paper §V-A).
+  const core::BurstResult serial = pipeline.run_burst(app, 1, config.ranks);
+  const core::BurstResult burst =
+      pipeline.run_burst(app, cores, config.ranks);
+  std::printf("burst (hardware-agnostic) mode:\n");
+  std::printf("  region speed-up  %2d cores : %6.2fx (efficiency %.0f%%)\n",
+              cores, serial.region_seconds / burst.region_seconds,
+              100.0 * serial.region_seconds / burst.region_seconds / cores);
+  std::printf("  full app speed-up %2d cores: %6.2fx\n\n", cores,
+              serial.wall_seconds / burst.wall_seconds);
+
+  // Full multiscale simulation.
+  const core::SimResult r = pipeline.run(app, config);
+
+  TextTable t({"metric", "value", "unit"});
+  t.row().cell("compute region").cell(r.region_seconds * 1e3, 3).cell("ms");
+  t.row().cell("application wall time").cell(r.wall_seconds * 1e3, 3).cell(
+      "ms");
+  t.row().cell("single-core IPC").cell(r.ipc, 2).cell("instr/cycle");
+  t.row().cell("avg concurrency").cell(r.avg_concurrency, 1).cell("cores");
+  t.row().cell("busy fraction").cell(100.0 * r.busy_fraction, 1).cell("%");
+  t.row().cell("BW contention factor").cell(r.contention_factor, 2).cell(
+      "x");
+  t.row().cell("L1 MPKI").cell(r.mpki_l1, 2).cell("miss/kinstr");
+  t.row().cell("L2 MPKI").cell(r.mpki_l2, 2).cell("miss/kinstr");
+  t.row().cell("L3 MPKI").cell(r.mpki_l3, 2).cell("miss/kinstr");
+  t.row().cell("DRAM requests").cell(r.gmem_req_s, 3).cell("Greq/s");
+  t.row().cell("DRAM bandwidth").cell(r.mem_gbps, 1).cell("GB/s");
+  t.row().cell("power: Core+L1").cell(r.core_l1_w, 1).cell("W");
+  t.row().cell("power: L2+L3").cell(r.l2_l3_w, 1).cell("W");
+  t.row().cell("power: Memory").cell(r.dram_w, 1).cell("W");
+  t.row().cell("power: node total").cell(r.node_w, 1).cell("W");
+  t.row().cell("energy to solution").cell(r.energy_j, 1).cell("J/node");
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Trace tooling: record, inspect and replay MUSA trace files — the
+// trace-once-simulate-everywhere workflow at the heart of the methodology.
+//
+//   trace_tools record <app> <dir>    write burst/region/instruction traces
+//   trace_tools info <file>           one-line summary of any trace file
+//   trace_tools replay <instr-trace>  run one stored kernel trace through
+//                                     three machine configurations
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "common/table.hpp"
+#include "cpusim/core_model.hpp"
+#include "dramsim/dram.hpp"
+#include "trace/kernel.hpp"
+#include "trace/trace_io.hpp"
+
+namespace {
+using namespace musa;
+
+int record(const std::string& app_name, const std::string& dir) {
+  const apps::AppModel& app = apps::find_app(app_name);
+  const std::string burst_path = dir + "/" + app_name + ".burst";
+  const std::string region_path = dir + "/" + app_name + ".region";
+  const std::string instr_path = dir + "/" + app_name + ".instr";
+
+  trace::save_app_trace(apps::make_burst_trace(app, 256), burst_path);
+  trace::save_region(apps::make_region(app), region_path);
+  trace::KernelSource source(app.kernel, 200'000);
+  const std::uint64_t n = trace::spool_instr_trace(source, instr_path);
+
+  std::printf("recorded %s:\n", app_name.c_str());
+  std::printf("  %s  (%s)\n", burst_path.c_str(),
+              trace::describe_trace_file(burst_path).c_str());
+  std::printf("  %s  (%s)\n", region_path.c_str(),
+              trace::describe_trace_file(region_path).c_str());
+  std::printf("  %s  (%llu records)\n", instr_path.c_str(),
+              static_cast<unsigned long long>(n));
+  return 0;
+}
+
+int info(const std::string& path) {
+  std::printf("%s: %s\n", path.c_str(),
+              trace::describe_trace_file(path).c_str());
+  return 0;
+}
+
+int replay(const std::string& path) {
+  std::printf("replaying %s across three machines\n\n", path.c_str());
+  TextTable t({"machine", "IPC", "L1 MPKI", "L3 MPKI", "DRAM GB/s"});
+  struct Machine {
+    const char* label;
+    cpusim::CoreConfig core;
+    int vec;
+  };
+  const Machine machines[] = {
+      {"lowend / 128b", cpusim::core_low_end(), 128},
+      {"medium / 256b", cpusim::core_medium(), 256},
+      {"aggressive / 512b", cpusim::core_aggressive(), 512},
+  };
+  for (const auto& m : machines) {
+    trace::FileInstrSource source(path);  // same file, every machine
+    cachesim::MemHierarchy hierarchy(cachesim::cache_32m_256k(1));
+    dramsim::DramSystem dram(dramsim::ddr4_2333(), 4);
+    cpusim::CoreModel core(m.core, {2.0}, hierarchy, dram);
+    const cpusim::CoreStats s = core.run(source, {.vector_bits = m.vec});
+    t.row()
+        .cell(m.label)
+        .cell(s.ipc(), 2)
+        .cell(s.mpki_l1(), 2)
+        .cell(s.mpki_l3(), 2)
+        .cell(s.dram_gbps({2.0}), 2);
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf(
+      "\nOne stored trace drives every architecture — the amortisation that\n"
+      "makes an 864-point design-space sweep tractable (paper §II).\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto usage = [] {
+    std::fprintf(stderr,
+                 "usage: trace_tools record <app> <dir>\n"
+                 "       trace_tools info <file>\n"
+                 "       trace_tools replay <instr-trace>\n");
+    return 2;
+  };
+  if (argc < 3) return usage();
+  try {
+    if (std::strcmp(argv[1], "record") == 0 && argc == 4)
+      return record(argv[2], argv[3]);
+    if (std::strcmp(argv[1], "info") == 0) return info(argv[2]);
+    if (std::strcmp(argv[1], "replay") == 0) return replay(argv[2]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

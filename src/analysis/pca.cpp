@@ -1,0 +1,127 @@
+#include "analysis/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace musa::analysis {
+
+namespace {
+
+/// Cyclic Jacobi eigen-decomposition of a symmetric matrix (row-major).
+/// Returns eigenvalues; `vectors[i]` becomes the i-th eigenvector.
+std::vector<double> jacobi_eigen(std::vector<std::vector<double>> a,
+                                 std::vector<std::vector<double>>& vectors) {
+  const std::size_t n = a.size();
+  vectors.assign(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) vectors[i][i] = 1.0;
+
+  for (int sweep = 0; sweep < 100; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p)
+      for (std::size_t q = p + 1; q < n; ++q) off += a[p][q] * a[p][q];
+    if (off < 1e-18) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(a[p][q]) < 1e-15) continue;
+        const double theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a[k][p], akq = a[k][q];
+          a[k][p] = c * akp - s * akq;
+          a[k][q] = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a[p][k], aqk = a[q][k];
+          a[p][k] = c * apk - s * aqk;
+          a[q][k] = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = vectors[p][k], vkq = vectors[q][k];
+          vectors[p][k] = c * vkp - s * vkq;
+          vectors[q][k] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigenvalues(n);
+  for (std::size_t i = 0; i < n; ++i) eigenvalues[i] = a[i][i];
+  return eigenvalues;
+}
+
+}  // namespace
+
+PcaResult pca(const std::vector<std::vector<double>>& samples,
+              std::vector<std::string> variable_names) {
+  MUSA_CHECK_MSG(samples.size() >= 2, "PCA needs at least two observations");
+  const std::size_t nvars = variable_names.size();
+  MUSA_CHECK_MSG(nvars >= 1, "PCA needs at least one variable");
+  for (const auto& row : samples)
+    MUSA_CHECK_MSG(row.size() == nvars, "observation width mismatch");
+
+  const double n = static_cast<double>(samples.size());
+
+  // Standardise each variable (z-scores); constant variables become zero.
+  std::vector<double> mean(nvars, 0.0), sd(nvars, 0.0);
+  for (const auto& row : samples)
+    for (std::size_t v = 0; v < nvars; ++v) mean[v] += row[v];
+  for (auto& m : mean) m /= n;
+  for (const auto& row : samples)
+    for (std::size_t v = 0; v < nvars; ++v)
+      sd[v] += (row[v] - mean[v]) * (row[v] - mean[v]);
+  for (auto& s : sd) s = std::sqrt(s / (n - 1.0));
+
+  std::vector<std::vector<double>> z(samples.size(),
+                                     std::vector<double>(nvars, 0.0));
+  for (std::size_t i = 0; i < samples.size(); ++i)
+    for (std::size_t v = 0; v < nvars; ++v)
+      z[i][v] = sd[v] > 1e-12 ? (samples[i][v] - mean[v]) / sd[v] : 0.0;
+
+  // Correlation matrix.
+  std::vector<std::vector<double>> cov(nvars, std::vector<double>(nvars));
+  for (std::size_t p = 0; p < nvars; ++p)
+    for (std::size_t q = 0; q < nvars; ++q) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < samples.size(); ++i)
+        acc += z[i][p] * z[i][q];
+      cov[p][q] = acc / (n - 1.0);
+    }
+
+  std::vector<std::vector<double>> vectors;
+  std::vector<double> eigenvalues = jacobi_eigen(cov, vectors);
+
+  // Order components by decreasing eigenvalue.
+  std::vector<std::size_t> order(nvars);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return eigenvalues[a] > eigenvalues[b];
+  });
+
+  const double total = std::accumulate(eigenvalues.begin(),
+                                       eigenvalues.end(), 0.0);
+  PcaResult result;
+  result.variables = std::move(variable_names);
+  for (std::size_t k : order) {
+    std::vector<double> comp = vectors[k];
+    // Sign convention: dominant loading positive.
+    const auto it =
+        std::max_element(comp.begin(), comp.end(), [](double a, double b) {
+          return std::abs(a) < std::abs(b);
+        });
+    if (*it < 0)
+      for (auto& c : comp) c = -c;
+    result.components.push_back(std::move(comp));
+    result.explained_variance.push_back(
+        total > 0 ? std::max(0.0, eigenvalues[k]) / total : 0.0);
+  }
+  return result;
+}
+
+}  // namespace musa::analysis

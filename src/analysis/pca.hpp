@@ -1,0 +1,29 @@
+// Principal Component Analysis (paper §V-C).
+//
+// Standardises the input variables, builds the covariance (= correlation)
+// matrix and diagonalises it with the cyclic Jacobi method — sufficient and
+// exact for the paper's 5-variable problem (OoO capacity, memory channels,
+// SIMD width, cache size, execution cycles over 72 simulations).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace musa::analysis {
+
+struct PcaResult {
+  std::vector<std::string> variables;
+  /// components[k][v]: loading of variable v on the k-th principal
+  /// component, ordered by decreasing explained variance. Sign convention:
+  /// the largest-magnitude loading of each component is positive.
+  std::vector<std::vector<double>> components;
+  std::vector<double> explained_variance;  // fraction per component, sums ~1
+};
+
+/// `samples[i][v]` = value of variable v in observation i. Requires at
+/// least two observations and one variable; constant variables are allowed
+/// (their loadings are zero).
+PcaResult pca(const std::vector<std::vector<double>>& samples,
+              std::vector<std::string> variable_names);
+
+}  // namespace musa::analysis

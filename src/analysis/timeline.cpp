@@ -1,0 +1,88 @@
+#include "analysis/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace musa::analysis {
+
+namespace {
+
+/// Paints [start,end) of a row with `ch`, bins scaled to `makespan`.
+void paint(std::string& row, double start, double end, double makespan,
+           char ch) {
+  const int w = static_cast<int>(row.size());
+  int b0 = static_cast<int>(start / makespan * w);
+  int b1 = static_cast<int>(end / makespan * w);
+  b0 = std::clamp(b0, 0, w - 1);
+  b1 = std::clamp(b1, b0, w - 1);
+  for (int b = b0; b <= b1; ++b) row[b] = ch;
+}
+
+}  // namespace
+
+std::string render_core_timeline(const std::vector<cpusim::TimelineSeg>& segs,
+                                 int cores, double makespan,
+                                 const TimelineOptions& options) {
+  MUSA_CHECK_MSG(cores >= 1 && makespan > 0, "empty timeline");
+  const int rows = std::min(cores, options.max_rows);
+  std::vector<std::string> grid(rows, std::string(options.width, '.'));
+  double busy = 0.0;
+  for (const auto& s : segs) {
+    busy += s.end - s.start;
+    if (s.core < rows) paint(grid[s.core], s.start, s.end, makespan, '#');
+  }
+  std::ostringstream out;
+  for (int c = 0; c < rows; ++c) {
+    char label[16];
+    std::snprintf(label, sizeof label, "cpu%3d |", c);
+    out << label << grid[c] << '\n';
+  }
+  char summary[128];
+  std::snprintf(summary, sizeof summary,
+                "occupancy: %.1f%% of %d cores over %.3f ms\n",
+                100.0 * busy / (makespan * cores), cores, makespan * 1e3);
+  out << summary;
+  return out.str();
+}
+
+std::string render_rank_timeline(const std::vector<netsim::RankSeg>& segs,
+                                 int ranks, double makespan,
+                                 const TimelineOptions& options) {
+  MUSA_CHECK_MSG(ranks >= 1 && makespan > 0, "empty timeline");
+  const int rows = std::min(ranks, options.max_rows);
+  // Down-sample ranks evenly when there are more ranks than rows.
+  const int stride = (ranks + rows - 1) / rows;
+  std::vector<std::string> grid(rows, std::string(options.width, '.'));
+  double mpi_time = 0.0, compute_time = 0.0;
+  for (const auto& s : segs) {
+    if (s.kind == netsim::RankSeg::Kind::kCompute)
+      compute_time += s.end - s.start;
+    else
+      mpi_time += s.end - s.start;
+    if (s.rank % stride != 0) continue;
+    const int row = s.rank / stride;
+    if (row >= rows) continue;
+    const char ch = s.kind == netsim::RankSeg::Kind::kCompute  ? 'C'
+                    : s.kind == netsim::RankSeg::Kind::kP2p    ? 'p'
+                                                               : 'B';
+    paint(grid[row], s.start, s.end, makespan, ch);
+  }
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    char label[16];
+    std::snprintf(label, sizeof label, "rank%4d |", r * stride);
+    out << label << grid[r] << '\n';
+  }
+  char summary[160];
+  std::snprintf(summary, sizeof summary,
+                "compute %.3f s, MPI %.3f s (%.1f%% of rank-time in MPI)\n",
+                compute_time, mpi_time,
+                100.0 * mpi_time / std::max(1e-12, compute_time + mpi_time));
+  out << summary;
+  return out.str();
+}
+
+}  // namespace musa::analysis

@@ -1,0 +1,31 @@
+// ASCII timeline rendering — the Paraver-visualisation stand-in for the
+// paper's Fig. 3 (task occupancy per thread) and Fig. 4 (MPI phases per
+// rank). Rows are threads/ranks, columns are time bins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cpusim/runtime.hpp"
+#include "netsim/dimemas.hpp"
+
+namespace musa::analysis {
+
+struct TimelineOptions {
+  int width = 100;     // character columns (time bins)
+  int max_rows = 64;   // rows rendered (threads or ranks)
+};
+
+/// Fig. 3 style: one row per core; '#' where a task runs, '.' idle.
+/// Appends an occupancy summary line.
+std::string render_core_timeline(const std::vector<cpusim::TimelineSeg>& segs,
+                                 int cores, double makespan,
+                                 const TimelineOptions& options = {});
+
+/// Fig. 4 style: one row per rank; 'C' compute, 'p' point-to-point,
+/// 'B' collective/barrier, '.' idle.
+std::string render_rank_timeline(const std::vector<netsim::RankSeg>& segs,
+                                 int ranks, double makespan,
+                                 const TimelineOptions& options = {});
+
+}  // namespace musa::analysis

@@ -1,0 +1,91 @@
+// The five HPC application models (paper §IV-B).
+//
+// Each model replaces a traced real application (DESIGN.md §2) with a
+// statistically equivalent generator of:
+//   * a detailed kernel instruction stream (trace::KernelProfile) —
+//     calibrated against the paper's Fig. 1 cache/memory profile and the
+//     §V discussion of vectorisability, working sets and ILP;
+//   * a task-level Region (task counts, imbalance, serial segments) —
+//     calibrated against the Fig. 2 scaling behaviour;
+//   * a 256-rank MPI burst trace (iterative halo exchange + collectives,
+//     with per-rank load imbalance) — calibrated against Fig. 2b / Fig. 4.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/burst.hpp"
+#include "trace/kernel.hpp"
+#include "trace/region.hpp"
+
+namespace musa::apps {
+
+/// One compute region (phase) of an application's timestep: its detailed
+/// kernel statistics plus the task-level structure of the region. MUSA
+/// samples and simulates each region independently and stitches them back
+/// in the replay (the burst trace tags bursts with the region id).
+struct Phase {
+  std::string name;
+  trace::KernelProfile kernel;
+  double task_instrs = 2e5;     // scalar instructions per work-1.0 task
+  int tasks_per_region = 512;
+  double task_imbalance = 0.05; // stddev of task work (thread imbalance)
+  int serial_segments = 0;      // serialised tasks splitting the region
+  double serial_task_work = 4.0;
+  double ref_region_seconds = 0.01;  // serial reference time of the region
+};
+
+struct AppModel {
+  std::string name;
+  trace::KernelProfile kernel;
+
+  // Task-level structure of the primary compute region.
+  double task_instrs = 2e5;     // scalar instructions per work-1.0 task
+  int tasks_per_region = 512;
+  double task_imbalance = 0.05; // stddev of task work (thread imbalance)
+  int serial_segments = 0;      // serialised tasks splitting the region
+  double serial_task_work = 4.0;
+  double ref_region_seconds = 0.01;  // serial reference time of the region
+
+  /// Additional compute regions executed after the primary one in every
+  /// iteration (region ids 1, 2, ... in the burst trace). The five paper
+  /// applications are modelled single-phase; multi-phase codes (see
+  /// examples/multiphase_app) use this to give each region its own kernel.
+  std::vector<Phase> extra_phases;
+
+  // MPI structure (burst trace).
+  int iterations = 8;
+  double rank_imbalance = 0.03; // stddev of per-rank compute factor
+  int p2p_neighbors = 2;        // ring directions exchanged per iteration
+  std::uint64_t p2p_bytes = 256 * 1024;
+  bool allreduce = false;
+  std::uint64_t allreduce_bytes = 64;
+  bool barrier = true;
+
+  // Runtime-system cost (constant software time, per task dispatch).
+  double dispatch_overhead_s = 100e-9;
+
+  /// All compute regions in execution order: the primary phase (synthesised
+  /// from the fields above) followed by extra_phases.
+  std::vector<Phase> phases() const;
+};
+
+/// The five applications in the paper's plotting order:
+/// hydro, spmz, btmz, spec3d, lulesh.
+const std::vector<AppModel>& registry();
+
+/// Look up by name; throws SimError if unknown.
+const AppModel& find_app(const std::string& name);
+
+/// Task graph of one compute region (deterministic in seed).
+trace::Region make_region(const Phase& phase, std::uint64_t seed = 1);
+
+/// Task graph of the application's primary region (compatibility shim).
+trace::Region make_region(const AppModel& app, std::uint64_t seed = 1);
+
+/// Whole-application burst trace for `ranks` MPI ranks.
+trace::AppTrace make_burst_trace(const AppModel& app, int ranks,
+                                 std::uint64_t seed = 2);
+
+}  // namespace musa::apps

@@ -1,0 +1,68 @@
+#include "cachesim/cache.hpp"
+
+#include "common/check.hpp"
+
+namespace musa::cachesim {
+
+Cache::Cache(const CacheConfig& config) : config_(config) {
+  MUSA_CHECK_MSG(config.ways > 0, "cache needs at least one way");
+  MUSA_CHECK_MSG(config.size_bytes >= kLineBytes * config.ways,
+                 "cache smaller than one set");
+  num_sets_ = config.num_sets();
+  MUSA_CHECK_MSG(num_sets_ > 0, "cache has zero sets");
+  lines_.assign(num_sets_ * config.ways, Line{});
+}
+
+AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr / kLineBytes;
+  // Sets need not be a power of two (e.g. 96 MB L3), so index by modulo.
+  const std::uint64_t set = line_addr % num_sets_;
+  const std::uint64_t tag = line_addr / num_sets_;
+  Line* base = &lines_[set * config_.ways];
+
+  Line* victim = base;
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++stamp_;
+      line.dirty = line.dirty || is_write;
+      return {.hit = true};
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an invalid way
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++stats_.misses;
+  AccessOutcome out;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    out.writeback = true;
+    out.victim_addr = (victim->tag * num_sets_ + set) * kLineBytes;
+  }
+  victim->tag = tag;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru = ++stamp_;
+  return out;
+}
+
+bool Cache::probe(std::uint64_t addr) const {
+  const std::uint64_t line_addr = addr / kLineBytes;
+  const std::uint64_t set = line_addr % num_sets_;
+  const std::uint64_t tag = line_addr / num_sets_;
+  const Line* base = &lines_[set * config_.ways];
+  for (int w = 0; w < config_.ways; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::flush(bool clear_stats) {
+  for (auto& line : lines_) line = Line{};
+  if (clear_stats) stats_ = CacheStats{};
+}
+
+}  // namespace musa::cachesim

@@ -1,0 +1,79 @@
+// Set-associative cache model with LRU replacement and write-back,
+// write-allocate policy. One instance models one cache array; the 3-level
+// node hierarchy is assembled in hierarchy.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace musa::cachesim {
+
+constexpr std::uint64_t kLineBytes = 64;
+
+struct CacheConfig {
+  std::uint64_t size_bytes = 32 * 1024;
+  int ways = 8;
+  int latency_cycles = 4;  // load-to-use latency on hit
+
+  std::uint64_t num_sets() const { return size_bytes / kLineBytes / ways; }
+};
+
+struct CacheStats {
+  std::uint64_t accesses = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+
+  double miss_ratio() const {
+    return accesses ? static_cast<double>(misses) / accesses : 0.0;
+  }
+  /// Misses per kilo-instruction given an instruction count.
+  double mpki(std::uint64_t instrs) const {
+    return instrs ? 1000.0 * static_cast<double>(misses) / instrs : 0.0;
+  }
+};
+
+/// Result of one cache access.
+struct AccessOutcome {
+  bool hit = false;
+  bool writeback = false;        // a dirty victim was evicted
+  std::uint64_t victim_addr = 0; // line address of the dirty victim
+};
+
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks up `addr`; on miss the line is allocated (possibly evicting a
+  /// dirty victim, reported in the outcome so the caller can propagate the
+  /// write-back down the hierarchy). `is_write` marks the line dirty.
+  AccessOutcome access(std::uint64_t addr, bool is_write);
+
+  /// True if the line holding addr is currently resident (no state change).
+  bool probe(std::uint64_t addr) const;
+
+  /// Invalidate all lines and optionally clear statistics.
+  void flush(bool clear_stats = true);
+
+  /// Clear statistics only (contents stay warm) — used after cache warm-up.
+  void reset_stats() { stats_ = CacheStats{}; }
+
+  const CacheConfig& config() const { return config_; }
+  const CacheStats& stats() const { return stats_; }
+
+ private:
+  struct Line {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // global stamp; smaller = older
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  CacheConfig config_;
+  CacheStats stats_;
+  std::vector<Line> lines_;  // sets × ways, row-major by set
+  std::uint64_t num_sets_;
+  std::uint64_t stamp_ = 0;
+};
+
+}  // namespace musa::cachesim

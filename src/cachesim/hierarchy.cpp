@@ -1,0 +1,123 @@
+#include "cachesim/hierarchy.hpp"
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace musa::cachesim {
+
+HierarchyConfig cache_32m_256k(int num_cores) {
+  HierarchyConfig c;
+  c.l2 = {.size_bytes = 256 * kKiB, .ways = 8, .latency_cycles = 9};
+  c.l3 = {.size_bytes = 32 * kMiB, .ways = 16, .latency_cycles = 68};
+  c.num_cores = num_cores;
+  return c;
+}
+
+HierarchyConfig cache_64m_512k(int num_cores) {
+  HierarchyConfig c;
+  c.l2 = {.size_bytes = 512 * kKiB, .ways = 16, .latency_cycles = 11};
+  c.l3 = {.size_bytes = 64 * kMiB, .ways = 16, .latency_cycles = 70};
+  c.num_cores = num_cores;
+  return c;
+}
+
+HierarchyConfig cache_96m_1m(int num_cores) {
+  HierarchyConfig c;
+  c.l2 = {.size_bytes = 1 * kMiB, .ways = 16, .latency_cycles = 13};
+  c.l3 = {.size_bytes = 96 * kMiB, .ways = 16, .latency_cycles = 72};
+  c.num_cores = num_cores;
+  return c;
+}
+
+MemHierarchy::MemHierarchy(const HierarchyConfig& config)
+    : config_(config), l3_(config.l3) {
+  MUSA_CHECK_MSG(config.num_cores >= 1, "hierarchy needs at least one core");
+  l1_.reserve(config.num_cores);
+  l2_.reserve(config.num_cores);
+  for (int c = 0; c < config.num_cores; ++c) {
+    l1_.emplace_back(config.l1);
+    l2_.emplace_back(config.l2);
+  }
+}
+
+MemOutcome MemHierarchy::access(int core, std::uint64_t addr, bool is_write) {
+  MUSA_CHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
+  MemOutcome out;
+
+  const AccessOutcome a1 = l1_[core].access(addr, is_write);
+  if (a1.hit) {
+    out.level = HitLevel::kL1;
+    out.latency_cycles = config_.l1.latency_cycles;
+    return out;
+  }
+
+  // L1 dirty victim is absorbed by L2 (write-allocate at L2).
+  if (a1.writeback) {
+    const AccessOutcome wb = l2_[core].access(a1.victim_addr, /*write=*/true);
+    if (!wb.hit && wb.writeback) {
+      const AccessOutcome wb3 = l3_.access(wb.victim_addr, /*write=*/true);
+      if (!wb3.hit && wb3.writeback) {
+        ++out.dram_writebacks;
+        out.wb_addr = wb3.victim_addr;
+      }
+    }
+  }
+
+  const AccessOutcome a2 = l2_[core].access(addr, is_write);
+  if (a2.writeback) {
+    const AccessOutcome wb3 = l3_.access(a2.victim_addr, /*write=*/true);
+    if (!wb3.hit && wb3.writeback) {
+      ++out.dram_writebacks;
+      out.wb_addr = wb3.victim_addr;
+    }
+  }
+  if (a2.hit) {
+    out.level = HitLevel::kL2;
+    out.latency_cycles = config_.l2.latency_cycles;
+    return out;
+  }
+
+  const AccessOutcome a3 = l3_.access(addr, is_write);
+  if (a3.writeback) {
+    ++out.dram_writebacks;
+    out.wb_addr = a3.victim_addr;
+  }
+  if (a3.hit) {
+    out.level = HitLevel::kL3;
+    out.latency_cycles = config_.l3.latency_cycles;
+    return out;
+  }
+
+  out.level = HitLevel::kMemory;
+  out.latency_cycles = config_.l3.latency_cycles;  // + DRAM, added by caller
+  out.dram_read = true;
+  return out;
+}
+
+void MemHierarchy::reset_stats() {
+  for (auto& c : l1_) c.reset_stats();
+  for (auto& c : l2_) c.reset_stats();
+  l3_.reset_stats();
+}
+
+CacheStats MemHierarchy::total_l1_stats() const {
+  CacheStats total;
+  for (const auto& c : l1_) {
+    total.accesses += c.stats().accesses;
+    total.misses += c.stats().misses;
+    total.writebacks += c.stats().writebacks;
+  }
+  return total;
+}
+
+CacheStats MemHierarchy::total_l2_stats() const {
+  CacheStats total;
+  for (const auto& c : l2_) {
+    total.accesses += c.stats().accesses;
+    total.misses += c.stats().misses;
+    total.writebacks += c.stats().writebacks;
+  }
+  return total;
+}
+
+}  // namespace musa::cachesim

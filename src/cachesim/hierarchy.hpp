@@ -1,0 +1,69 @@
+// Three-level node cache hierarchy: private L1 + L2 per core, shared L3.
+//
+// Matches the paper's Table I structure (L1 fixed at 32 kB; L2/L3 swept).
+// Non-inclusive: misses allocate at every level on the fill path; dirty
+// victims write back to the next level, with L3 victims reported to the
+// caller as DRAM write traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+
+namespace musa::cachesim {
+
+struct HierarchyConfig {
+  CacheConfig l1{.size_bytes = 32 * 1024, .ways = 8, .latency_cycles = 4};
+  CacheConfig l2{.size_bytes = 256 * 1024, .ways = 8, .latency_cycles = 9};
+  CacheConfig l3{.size_bytes = 32ull * 1024 * 1024, .ways = 16,
+                 .latency_cycles = 68};
+  int num_cores = 1;
+};
+
+/// Paper Table I cache presets (L3 total : L2 per core).
+HierarchyConfig cache_32m_256k(int num_cores);
+HierarchyConfig cache_64m_512k(int num_cores);
+HierarchyConfig cache_96m_1m(int num_cores);
+
+/// Where an access was served from.
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+/// Result of a hierarchy access, consumed by the core timing model.
+struct MemOutcome {
+  HitLevel level = HitLevel::kL1;
+  int latency_cycles = 0;      // load-to-use latency up to (excl.) DRAM
+  bool dram_read = false;      // caller must fetch the line from DRAM
+  std::uint64_t dram_writebacks = 0;  // dirty L3 victims (DRAM writes)
+  std::uint64_t wb_addr = 0;   // address of the (last) DRAM write-back
+};
+
+class MemHierarchy {
+ public:
+  explicit MemHierarchy(const HierarchyConfig& config);
+
+  /// One 64-byte-line access by `core`. Propagates misses and write-backs
+  /// through the levels; DRAM cost is *not* included in latency_cycles —
+  /// the caller adds it (it depends on the DRAM model's queue state).
+  MemOutcome access(int core, std::uint64_t addr, bool is_write);
+
+  const HierarchyConfig& config() const { return config_; }
+  const CacheStats& l1_stats(int core) const { return l1_[core].stats(); }
+  const CacheStats& l2_stats(int core) const { return l2_[core].stats(); }
+  const CacheStats& l3_stats() const { return l3_.stats(); }
+
+  /// Aggregated over all cores.
+  CacheStats total_l1_stats() const;
+  CacheStats total_l2_stats() const;
+
+  /// Clear statistics at every level; cache contents stay warm.
+  void reset_stats();
+
+ private:
+  HierarchyConfig config_;
+  std::vector<Cache> l1_;
+  std::vector<Cache> l2_;
+  Cache l3_;
+};
+
+}  // namespace musa::cachesim

@@ -1,0 +1,39 @@
+// Error-handling helpers: invariant checks that throw instead of aborting so
+// library users (and tests) can recover and report.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace musa {
+
+/// Exception thrown when a simulation invariant or configuration constraint
+/// is violated. All MUSA libraries report misuse through this type.
+class SimError : public std::runtime_error {
+ public:
+  explicit SimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  throw SimError(std::string(file) + ":" + std::to_string(line) +
+                 ": check failed: " + expr + (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace musa
+
+/// Invariant check: throws musa::SimError on failure. Always enabled — these
+/// guard configuration and trace-consistency errors, not hot inner loops.
+#define MUSA_CHECK(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::musa::detail::check_failed(#expr, __FILE__, __LINE__, {});       \
+  } while (0)
+
+#define MUSA_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::musa::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)

@@ -1,0 +1,94 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace musa {
+
+namespace {
+std::vector<std::string> split_line(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ',') {
+      out.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+}  // namespace
+
+CsvDoc::CsvDoc(std::vector<std::string> header) : header_(std::move(header)) {
+  MUSA_CHECK_MSG(!header_.empty(), "CSV header must be non-empty");
+}
+
+std::size_t CsvDoc::column(const std::string& name) const {
+  for (std::size_t i = 0; i < header_.size(); ++i)
+    if (header_[i] == name) return i;
+  throw SimError("CSV column not found: " + name);
+}
+
+void CsvDoc::add_row(std::vector<std::string> row) {
+  MUSA_CHECK_MSG(row.size() == header_.size(),
+                 "CSV row width mismatches header");
+  rows_.push_back(std::move(row));
+}
+
+std::string CsvDoc::str() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << cells[i];
+    }
+    out << '\n';
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+CsvDoc CsvDoc::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  CsvDoc doc;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    if (!have_header) {
+      doc.header_ = std::move(cells);
+      have_header = true;
+    } else {
+      doc.add_row(std::move(cells));
+    }
+  }
+  MUSA_CHECK_MSG(have_header, "CSV text has no header row");
+  return doc;
+}
+
+void CsvDoc::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  MUSA_CHECK_MSG(out.good(), "cannot open CSV for writing: " + path);
+  out << str();
+}
+
+CsvDoc CsvDoc::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw SimError("cannot open CSV for reading: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+bool CsvDoc::file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+}  // namespace musa

@@ -1,0 +1,39 @@
+// Minimal CSV reader/writer used by the DSE engine's on-disk result cache.
+// Values never contain commas or quotes (all fields are identifiers or
+// numbers), so no quoting/escaping layer is needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace musa {
+
+/// In-memory CSV document: a header row plus data rows of equal width.
+class CsvDoc {
+ public:
+  CsvDoc() = default;
+  explicit CsvDoc(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Index of a header column; throws SimError if absent.
+  std::size_t column(const std::string& name) const;
+
+  void add_row(std::vector<std::string> row);
+
+  /// Serialise to CSV text / parse from CSV text.
+  std::string str() const;
+  static CsvDoc parse(const std::string& text);
+
+  /// File helpers. save() overwrites; load() throws SimError if unreadable.
+  void save(const std::string& path) const;
+  static CsvDoc load(const std::string& path);
+  static bool file_exists(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace musa

@@ -1,0 +1,62 @@
+#include "common/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace musa {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("MUSA_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+void parallel_blocks(
+    std::uint64_t n, int threads,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  MUSA_CHECK_MSG(threads >= 0, "negative thread count");
+  if (n == 0) return;
+  const auto workers =
+      static_cast<std::uint64_t>(std::clamp<std::uint64_t>(threads, 1, n));
+  if (workers == 1) {
+    fn(0, n);
+    return;
+  }
+
+  std::exception_ptr first_error;
+  std::atomic_flag error_latch = ATOMIC_FLAG_INIT;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  const std::uint64_t block = (n + workers - 1) / workers;
+  for (std::uint64_t w = 0; w < workers; ++w) {
+    const std::uint64_t begin = w * block;
+    const std::uint64_t end = std::min(n, begin + block);
+    if (begin >= end) break;
+    pool.emplace_back([&, begin, end] {
+      try {
+        fn(begin, end);
+      } catch (...) {
+        if (!error_latch.test_and_set()) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(std::uint64_t n, int threads,
+                  const std::function<void(std::uint64_t)>& fn) {
+  parallel_blocks(n, threads, [&](std::uint64_t begin, std::uint64_t end) {
+    for (std::uint64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+}  // namespace musa

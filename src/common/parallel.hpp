@@ -1,0 +1,27 @@
+// Minimal deterministic work-sharing helper for embarrassingly parallel
+// sweeps (the DSE engine's 4320 independent simulations).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace musa {
+
+/// Number of worker threads to use by default: the hardware concurrency,
+/// overridable with the MUSA_THREADS environment variable (0/1 = serial).
+int default_thread_count();
+
+/// Runs fn(i) for i in [0, n) on up to `threads` workers. Indices are
+/// block-partitioned, so writes to disjoint slots of a pre-sized vector are
+/// race-free and the result layout is identical to a serial run. Exceptions
+/// thrown by fn are rethrown on the calling thread (first one wins).
+void parallel_for(std::uint64_t n, int threads,
+                  const std::function<void(std::uint64_t)>& fn);
+
+/// Block-granular variant: fn(begin, end) once per contiguous block, one
+/// block per worker. Lets callers build per-worker state (a simulator
+/// instance, an accumulator) exactly once per thread.
+void parallel_blocks(std::uint64_t n, int threads,
+                     const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+}  // namespace musa

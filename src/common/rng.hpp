@@ -1,0 +1,78 @@
+// Deterministic pseudo-random number generation for trace synthesis.
+//
+// All stochastic choices in workload models draw from Xoshiro256** seeded
+// through SplitMix64, so a given (application, seed) pair always produces the
+// identical trace — a requirement for MUSA-style replayable methodology.
+#pragma once
+
+#include <cstdint>
+
+namespace musa {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: fast, high-quality, 2^256-period generator.
+class Rng {
+ public:
+  explicit constexpr Rng(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t next_below(std::uint64_t bound) {
+    // Multiply-shift reduction; bias is negligible for simulation purposes.
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  constexpr bool bernoulli(double p) { return next_double() < p; }
+
+  /// Approximately normal sample via sum of uniforms (Irwin–Hall, n=12):
+  /// cheap, deterministic, adequate for workload imbalance modelling.
+  constexpr double next_normal(double mean, double stddev) {
+    double acc = 0.0;
+    for (int i = 0; i < 12; ++i) acc += next_double();
+    return mean + (acc - 6.0) * stddev;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace musa

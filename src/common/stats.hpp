@@ -1,0 +1,47 @@
+// Streaming statistics used throughout result aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace musa {
+
+/// Welford's online algorithm: numerically stable running mean/variance.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Geometric mean of positive samples; returns 0 if empty.
+double geomean(const std::vector<double>& xs);
+
+/// Arithmetic mean; returns 0 if empty.
+double mean(const std::vector<double>& xs);
+
+/// Sample standard deviation; returns 0 for fewer than two samples.
+double stddev(const std::vector<double>& xs);
+
+/// Parallel efficiency: speedup / ideal speedup.
+inline double parallel_efficiency(double speedup, int cores) {
+  return cores > 0 ? speedup / static_cast<double>(cores) : 0.0;
+}
+
+}  // namespace musa

@@ -1,0 +1,69 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace musa {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MUSA_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+TextTable& TextTable::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TextTable& TextTable::cell(std::string text) {
+  MUSA_CHECK_MSG(!rows_.empty(), "call row() before cell()");
+  MUSA_CHECK_MSG(rows_.back().size() < header_.size(),
+                 "more cells than header columns");
+  rows_.back().push_back(std::move(text));
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return cell(std::string(buf));
+}
+
+TextTable& TextTable::cell(long long value) {
+  return cell(std::to_string(value));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells, bool pad_right) {
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string text = c < cells.size() ? cells[c] : "";
+      if (c) out << " | ";
+      if (pad_right || c == 0) {
+        out << text << std::string(width[c] - text.size(), ' ');
+      } else {
+        out << std::string(width[c] - text.size(), ' ') << text;
+      }
+    }
+    out << '\n';
+  };
+  emit_row(header_, /*pad_right=*/true);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) out << "-+-";
+    out << std::string(width[c], '-');
+  }
+  out << '\n';
+  for (const auto& r : rows_) emit_row(r, /*pad_right=*/false);
+  return out.str();
+}
+
+}  // namespace musa

@@ -1,0 +1,149 @@
+#include "core/config_space.hpp"
+
+#include <cstdio>
+
+#include "common/check.hpp"
+
+namespace musa::core {
+
+namespace {
+cpusim::CoreConfig core_by_label(const std::string& label) {
+  for (const auto& c : cpusim::core_presets())
+    if (c.label == label) return c;
+  throw SimError("unknown core label: " + label);
+}
+
+std::string dim_string(const MachineConfig& c, const std::string& skip) {
+  char freq[16];
+  std::snprintf(freq, sizeof freq, "%.1fGHz", c.freq_ghz);
+  std::string out;
+  auto add = [&](const std::string& dim, const std::string& value) {
+    out += dim == skip ? std::string("*") : value;
+    out += '|';
+  };
+  add("core", c.core.label);
+  add("cache", c.cache_label);
+  add("freq", freq);
+  add("vector", std::to_string(c.vector_bits) + "b");
+  add("channels", std::to_string(c.mem_channels) + "ch-" +
+                      dramsim::mem_tech_name(c.mem_tech));
+  add("cores", std::to_string(c.cores) + "c");
+  out.pop_back();
+  return out;
+}
+}  // namespace
+
+cachesim::HierarchyConfig MachineConfig::cache_config(int num_cores) const {
+  if (cache_label == "32M:256K") return cachesim::cache_32m_256k(num_cores);
+  if (cache_label == "64M:512K") return cachesim::cache_64m_512k(num_cores);
+  if (cache_label == "96M:1M") return cachesim::cache_96m_1m(num_cores);
+  throw SimError("unknown cache label: " + cache_label);
+}
+
+std::string MachineConfig::id() const { return dim_string(*this, ""); }
+
+std::string MachineConfig::id_without(const std::string& dimension) const {
+  return dim_string(*this, dimension);
+}
+
+const std::vector<std::string>& ConfigSpace::cache_labels() {
+  static const std::vector<std::string> v = {"32M:256K", "64M:512K",
+                                             "96M:1M"};
+  return v;
+}
+const std::vector<double>& ConfigSpace::frequencies() {
+  static const std::vector<double> v = {1.5, 2.0, 2.5, 3.0};
+  return v;
+}
+const std::vector<int>& ConfigSpace::vector_widths() {
+  static const std::vector<int> v = {128, 256, 512};
+  return v;
+}
+const std::vector<int>& ConfigSpace::channel_counts() {
+  static const std::vector<int> v = {4, 8};
+  return v;
+}
+const std::vector<int>& ConfigSpace::core_counts() {
+  static const std::vector<int> v = {1, 32, 64};
+  return v;
+}
+
+std::vector<MachineConfig> ConfigSpace::full_space() {
+  std::vector<MachineConfig> space;
+  space.reserve(864);
+  for (const auto& core : cpusim::core_presets())
+    for (const auto& cache : cache_labels())
+      for (double freq : frequencies())
+        for (int vec : vector_widths())
+          for (int ch : channel_counts())
+            for (int cores : core_counts()) {
+              MachineConfig c;
+              c.core = core;
+              c.cache_label = cache;
+              c.freq_ghz = freq;
+              c.vector_bits = vec;
+              c.mem_channels = ch;
+              c.mem_tech = dramsim::MemTech::kDdr4_2333;
+              c.cores = cores;
+              c.ranks = 256;
+              space.push_back(c);
+            }
+  MUSA_CHECK_MSG(space.size() == 864, "Table I grid must have 864 points");
+  return space;
+}
+
+MachineConfig ConfigSpace::dse_best(const std::string& app_name) {
+  // Best execution-time conventional configs at 64 cores / 2 GHz (§V-D).
+  MachineConfig c;
+  c.freq_ghz = 2.0;
+  c.cores = 64;
+  if (app_name == "spmz") {
+    c.core = core_by_label("aggressive");
+    c.vector_bits = 512;
+    c.cache_label = "96M:1M";
+    c.mem_channels = 8;
+    return c;
+  }
+  if (app_name == "lulesh") {
+    c.core = core_by_label("high");
+    c.vector_bits = 512;
+    c.cache_label = "96M:1M";
+    c.mem_channels = 8;
+    return c;
+  }
+  throw SimError("no Table II baseline for app: " + app_name);
+}
+
+std::vector<std::pair<std::string, MachineConfig>>
+ConfigSpace::unconventional(const std::string& app_name) {
+  std::vector<std::pair<std::string, MachineConfig>> rows;
+  rows.emplace_back("Best-DSE", dse_best(app_name));
+  if (app_name == "spmz") {
+    MachineConfig vplus = rows[0].second;
+    vplus.core = core_by_label("high");
+    vplus.vector_bits = 1024;
+    vplus.cache_label = "64M:512K";
+    vplus.mem_channels = 4;
+    rows.emplace_back("Vector+", vplus);
+    MachineConfig vpp = vplus;
+    vpp.vector_bits = 2048;
+    rows.emplace_back("Vector++", vpp);
+    return rows;
+  }
+  if (app_name == "lulesh") {
+    MachineConfig mplus = rows[0].second;
+    mplus.core = core_by_label("medium");
+    mplus.vector_bits = 64;  // narrow scalar FPUs
+    mplus.cache_label = "64M:512K";
+    mplus.mem_channels = 16;
+    rows.emplace_back("MEM+", mplus);
+    MachineConfig mpp = mplus;
+    mpp.mem_tech = dramsim::MemTech::kHbm2;
+    mpp.mem_channels = 16;
+    rows.emplace_back("MEM++", mpp);
+    return rows;
+  }
+  throw SimError("no Table II rows for app: " + app_name);
+}
+
+}  // namespace musa::core

@@ -1,0 +1,59 @@
+// The architectural design space (paper Table I) and the unconventional
+// application-specific configurations (paper Table II).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "cpusim/core_config.hpp"
+#include "dramsim/timing.hpp"
+
+namespace musa::core {
+
+/// One simulated machine point: node microarchitecture + scale.
+struct MachineConfig {
+  cpusim::CoreConfig core = cpusim::core_medium();
+  std::string cache_label = "32M:256K";
+  double freq_ghz = 2.0;
+  int vector_bits = 128;
+  int mem_channels = 4;
+  dramsim::MemTech mem_tech = dramsim::MemTech::kDdr4_2333;
+  int cores = 32;   // cores per node
+  int ranks = 256;  // MPI ranks (one per node)
+
+  /// L2/L3 configuration for this label, sized for `num_cores` L2s.
+  cachesim::HierarchyConfig cache_config(int num_cores) const;
+
+  /// Unique identifier, e.g. "medium|32M:256K|2.0GHz|128b|4ch-DDR4-2333|32c".
+  std::string id() const;
+
+  /// The key used to find a config's normalisation partner: the id with the
+  /// named dimension blanked out (dimension ∈ {core, cache, freq, vector,
+  /// channels, cores}).
+  std::string id_without(const std::string& dimension) const;
+};
+
+/// Enumerates the paper's 864-point grid:
+/// 4 OoO × 3 caches × 4 frequencies × 3 vector widths × 2 channel counts ×
+/// 3 core counts.
+class ConfigSpace {
+ public:
+  static const std::vector<std::string>& cache_labels();
+  static const std::vector<double>& frequencies();
+  static const std::vector<int>& vector_widths();
+  static const std::vector<int>& channel_counts();
+  static const std::vector<int>& core_counts();
+
+  /// All 864 configurations, 256 ranks each.
+  static std::vector<MachineConfig> full_space();
+
+  /// The best-performing conventional point used as the Table II baseline.
+  static MachineConfig dse_best(const std::string& app_name);
+
+  /// Table II rows: (label, config) pairs for SPMZ and LULESH.
+  static std::vector<std::pair<std::string, MachineConfig>>
+  unconventional(const std::string& app_name);
+};
+
+}  // namespace musa::core

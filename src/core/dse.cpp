@@ -1,0 +1,247 @@
+#include "core/dse.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+
+namespace musa::core {
+
+namespace {
+std::string fmt(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+double num(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+}  // namespace
+
+DseEngine::DseEngine(Pipeline& pipeline, std::string cache_path)
+    : pipeline_(pipeline), cache_path_(std::move(cache_path)) {}
+
+std::vector<std::string> DseEngine::csv_header() {
+  return {"app",        "core",      "cache",     "freq_ghz", "vector_bits",
+          "channels",   "tech",      "cores",     "ranks",    "region_s",
+          "wall_s",     "ipc",       "concurrency", "busy_frac",
+          "contention", "mpki_l1",   "mpki_l2",   "mpki_l3",  "gmem_req_s",
+          "mem_gbps",   "core_l1_w", "l2_l3_w",   "dram_w",   "dram_known",
+          "node_w",     "energy_j"};
+}
+
+std::vector<std::string> DseEngine::to_row(const SimResult& r) {
+  return {r.app,
+          r.config.core.label,
+          r.config.cache_label,
+          fmt(r.config.freq_ghz),
+          std::to_string(r.config.vector_bits),
+          std::to_string(r.config.mem_channels),
+          dramsim::mem_tech_name(r.config.mem_tech),
+          std::to_string(r.config.cores),
+          std::to_string(r.config.ranks),
+          fmt(r.region_seconds),
+          fmt(r.wall_seconds),
+          fmt(r.ipc),
+          fmt(r.avg_concurrency),
+          fmt(r.busy_fraction),
+          fmt(r.contention_factor),
+          fmt(r.mpki_l1),
+          fmt(r.mpki_l2),
+          fmt(r.mpki_l3),
+          fmt(r.gmem_req_s),
+          fmt(r.mem_gbps),
+          fmt(r.core_l1_w),
+          fmt(r.l2_l3_w),
+          fmt(r.dram_w),
+          r.dram_power_known ? "1" : "0",
+          fmt(r.node_w),
+          fmt(r.energy_j)};
+}
+
+SimResult DseEngine::from_row(const std::vector<std::string>& row) {
+  SimResult r;
+  std::size_t i = 0;
+  r.app = row[i++];
+  const std::string core_label = row[i++];
+  bool found = false;
+  for (const auto& preset : cpusim::core_presets())
+    if (preset.label == core_label) {
+      r.config.core = preset;
+      found = true;
+    }
+  MUSA_CHECK_MSG(found, "cached result has unknown core: " + core_label);
+  r.config.cache_label = row[i++];
+  r.config.freq_ghz = num(row[i++]);
+  r.config.vector_bits = static_cast<int>(num(row[i++]));
+  r.config.mem_channels = static_cast<int>(num(row[i++]));
+  const std::string tech = row[i++];
+  bool tech_found = false;
+  for (auto t : {dramsim::MemTech::kDdr4_2333, dramsim::MemTech::kDdr4_2666,
+                 dramsim::MemTech::kLpddr4_3200, dramsim::MemTech::kWideIo2,
+                 dramsim::MemTech::kHbm2})
+    if (tech == dramsim::mem_tech_name(t)) {
+      r.config.mem_tech = t;
+      tech_found = true;
+    }
+  MUSA_CHECK_MSG(tech_found, "cached result has unknown memory tech: " + tech);
+  r.config.cores = static_cast<int>(num(row[i++]));
+  r.config.ranks = static_cast<int>(num(row[i++]));
+  r.region_seconds = num(row[i++]);
+  r.wall_seconds = num(row[i++]);
+  r.ipc = num(row[i++]);
+  r.avg_concurrency = num(row[i++]);
+  r.busy_fraction = num(row[i++]);
+  r.contention_factor = num(row[i++]);
+  r.mpki_l1 = num(row[i++]);
+  r.mpki_l2 = num(row[i++]);
+  r.mpki_l3 = num(row[i++]);
+  r.gmem_req_s = num(row[i++]);
+  r.mem_gbps = num(row[i++]);
+  r.core_l1_w = num(row[i++]);
+  r.l2_l3_w = num(row[i++]);
+  r.dram_w = num(row[i++]);
+  r.dram_power_known = row[i++] == "1";
+  r.node_w = num(row[i++]);
+  r.energy_j = num(row[i++]);
+  return r;
+}
+
+void DseEngine::recompute() {
+  const std::vector<MachineConfig> space = ConfigSpace::full_space();
+  const auto& apps = apps::registry();
+  const std::uint64_t total = space.size() * apps.size();
+  results_.assign(total, SimResult{});
+
+  // Every simulation point is independent; block-partition them over worker
+  // threads, each with its own Pipeline (the pipeline memoises traces and is
+  // not shared across threads). Results land in fixed slots, so the sweep
+  // output is identical to a serial run.
+  const int threads = default_thread_count();
+  std::atomic<int> done{0};
+  parallel_blocks(total, threads, [&](std::uint64_t begin, std::uint64_t end) {
+    Pipeline local(pipeline_.options());
+    for (std::uint64_t i = begin; i < end; ++i) {
+      const auto& app = apps[i / space.size()];
+      const auto& config = space[i % space.size()];
+      results_[i] = local.run(app, config);
+      const int d = ++done;
+      if (d % 432 == 0)
+        std::fprintf(stderr, "  dse sweep: %d / %llu simulations\n", d,
+                     static_cast<unsigned long long>(total));
+    }
+  });
+  ready_ = true;
+  if (!cache_path_.empty()) {
+    CsvDoc doc(csv_header());
+    for (const auto& r : results_) doc.add_row(to_row(r));
+    doc.save(cache_path_);
+  }
+}
+
+void DseEngine::ensure_results() {
+  if (ready_) return;
+  if (!cache_path_.empty() && CsvDoc::file_exists(cache_path_)) {
+    const CsvDoc doc = CsvDoc::load(cache_path_);
+    MUSA_CHECK_MSG(doc.header() == csv_header(),
+                   "stale DSE cache (schema changed): delete " + cache_path_);
+    results_.clear();
+    results_.reserve(doc.rows().size());
+    for (const auto& row : doc.rows()) results_.push_back(from_row(row));
+    ready_ = true;
+    return;
+  }
+  recompute();
+}
+
+const std::vector<SimResult>& DseEngine::results() {
+  ensure_results();
+  return results_;
+}
+
+std::string DseEngine::dimension_value(const MachineConfig& config,
+                                       const std::string& dimension) {
+  if (dimension == "core") return config.core.label;
+  if (dimension == "cache") return config.cache_label;
+  if (dimension == "freq") {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%.1fGHz", config.freq_ghz);
+    return buf;
+  }
+  if (dimension == "vector") return std::to_string(config.vector_bits) + "b";
+  if (dimension == "channels")
+    return std::to_string(config.mem_channels) + "ch-" +
+           dramsim::mem_tech_name(config.mem_tech);
+  if (dimension == "cores") return std::to_string(config.cores) + "c";
+  throw SimError("unknown sweep dimension: " + dimension);
+}
+
+NormStat DseEngine::normalized_ratio(const std::string& app, int cores,
+                                     const std::string& dimension,
+                                     const std::string& value,
+                                     const std::string& baseline,
+                                     const MetricFn& metric) {
+  ensure_results();
+  // Map normalisation partner key -> baseline metric value.
+  std::unordered_map<std::string, double> base;
+  for (const auto& r : results_) {
+    if (r.app != app || r.config.cores != cores) continue;
+    if (dimension_value(r.config, dimension) != baseline) continue;
+    base[r.config.id_without(dimension)] = metric(r);
+  }
+  RunningStats acc;
+  for (const auto& r : results_) {
+    if (r.app != app || r.config.cores != cores) continue;
+    if (dimension_value(r.config, dimension) != value) continue;
+    const auto it = base.find(r.config.id_without(dimension));
+    if (it == base.end() || it->second == 0.0) continue;
+    acc.add(metric(r) / it->second);
+  }
+  return {acc.mean(), acc.stddev(), static_cast<int>(acc.count())};
+}
+
+NormStat DseEngine::average(const std::string& app, int cores,
+                            const std::string& dimension,
+                            const std::string& value,
+                            const MetricFn& metric) {
+  ensure_results();
+  RunningStats acc;
+  for (const auto& r : results_) {
+    if (r.app != app || r.config.cores != cores) continue;
+    if (!dimension.empty() &&
+        dimension_value(r.config, dimension) != value)
+      continue;
+    acc.add(metric(r));
+  }
+  return {acc.mean(), acc.stddev(), static_cast<int>(acc.count())};
+}
+
+DseEngine::PowerSplit DseEngine::power_split(const std::string& app,
+                                             int cores,
+                                             const std::string& dimension,
+                                             const std::string& value,
+                                             const std::string& baseline) {
+  ensure_results();
+  std::unordered_map<std::string, double> base;
+  for (const auto& r : results_) {
+    if (r.app != app || r.config.cores != cores) continue;
+    if (dimension_value(r.config, dimension) != baseline) continue;
+    base[r.config.id_without(dimension)] = r.node_w;
+  }
+  RunningStats core_acc, cache_acc, dram_acc;
+  for (const auto& r : results_) {
+    if (r.app != app || r.config.cores != cores) continue;
+    if (dimension_value(r.config, dimension) != value) continue;
+    const auto it = base.find(r.config.id_without(dimension));
+    if (it == base.end() || it->second == 0.0) continue;
+    core_acc.add(r.core_l1_w / it->second);
+    cache_acc.add(r.l2_l3_w / it->second);
+    dram_acc.add(r.dram_w / it->second);
+  }
+  return {core_acc.mean(), cache_acc.mean(), dram_acc.mean()};
+}
+
+}  // namespace musa::core

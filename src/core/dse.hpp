@@ -1,0 +1,94 @@
+// Design-space-exploration engine (paper §IV/§V-B).
+//
+// Runs the full 864-configuration × 5-application sweep through the MUSA
+// pipeline, caches results as CSV (Figs 5–10 all normalise over the same
+// sweep, so the expensive part runs once), and implements the paper's
+// normalisation methodology: every simulation is divided by the simulation
+// sharing *all other* architectural parameters but holding the swept
+// parameter at its baseline value; bars report the mean (and stddev) of
+// those ratios — 96 samples per bar at the paper's grid.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/config_space.hpp"
+#include "core/pipeline.hpp"
+
+namespace musa::core {
+
+/// Extracts the plotted quantity from one simulation result.
+using MetricFn = std::function<double(const SimResult&)>;
+
+/// Canonical metrics for the figure reproductions.
+namespace metrics {
+inline double region_time(const SimResult& r) { return r.region_seconds; }
+inline double wall_time(const SimResult& r) { return r.wall_seconds; }
+inline double node_power(const SimResult& r) { return r.node_w; }
+inline double region_energy(const SimResult& r) {
+  return r.node_w * r.region_seconds;
+}
+}  // namespace metrics
+
+struct NormStat {
+  double mean = 0.0;
+  double sd = 0.0;
+  int n = 0;
+};
+
+class DseEngine {
+ public:
+  /// `cache_path`: CSV file for result caching ("" disables caching).
+  DseEngine(Pipeline& pipeline, std::string cache_path);
+
+  /// Sweep results, computed on first use (or loaded from the cache file).
+  const std::vector<SimResult>& results();
+
+  /// Forces a fresh sweep, replacing any cache.
+  void recompute();
+
+  /// Value of a config along one sweep dimension, e.g. dimension "vector"
+  /// → "512b". Dimensions: core, cache, freq, vector, channels, cores.
+  static std::string dimension_value(const MachineConfig& config,
+                                     const std::string& dimension);
+
+  /// Paper-style normalised average for one bar of a figure:
+  /// mean over all configuration pairs (app, cores panel fixed) of
+  /// metric(config with dimension=value) / metric(partner with
+  /// dimension=baseline).
+  NormStat normalized_ratio(const std::string& app, int cores,
+                            const std::string& dimension,
+                            const std::string& value,
+                            const std::string& baseline,
+                            const MetricFn& metric);
+
+  /// Average of a metric over all sweep points matching (app, cores, and
+  /// dimension=value); used for absolute quantities such as power splits.
+  NormStat average(const std::string& app, int cores,
+                   const std::string& dimension, const std::string& value,
+                   const MetricFn& metric);
+
+  /// Component-wise power-share average (Core+L1 / L2+L3 / Memory),
+  /// normalised to the baseline dimension value's total power.
+  struct PowerSplit {
+    double core_l1 = 0.0, l2_l3 = 0.0, dram = 0.0;
+  };
+  PowerSplit power_split(const std::string& app, int cores,
+                         const std::string& dimension,
+                         const std::string& value,
+                         const std::string& baseline);
+
+ private:
+  void ensure_results();
+  static std::vector<std::string> csv_header();
+  static std::vector<std::string> to_row(const SimResult& r);
+  static SimResult from_row(const std::vector<std::string>& row);
+
+  Pipeline& pipeline_;
+  std::string cache_path_;
+  std::vector<SimResult> results_;
+  bool ready_ = false;
+};
+
+}  // namespace musa::core

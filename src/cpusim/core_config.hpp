@@ -1,0 +1,54 @@
+// Core microarchitecture configurations (paper Table I, "Core OoO").
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace musa::cpusim {
+
+/// Out-of-order core resources. The four presets span the paper's design
+/// space from a lean near-in-order FP-capable core to an aggressive
+/// 8-issue machine.
+struct CoreConfig {
+  std::string label;
+  int rob = 180;          // reorder-buffer entries
+  int issue_width = 4;    // dispatch/commit width (instructions/cycle)
+  int store_buffer = 100; // in-flight stores
+  int alus = 3;           // integer ALUs
+  int fpus = 3;           // floating-point units (full vector width each)
+  int lsus = 2;           // load/store ports (lean cores have one)
+  int irf = 130;          // integer physical register file
+  int frf = 70;           // FP physical register file
+
+  /// A scalar index of OoO capability used by the PCA analysis (§V-C).
+  double ooo_capability() const {
+    return rob + irf + frf + 10.0 * issue_width;
+  }
+};
+
+inline CoreConfig core_low_end() {
+  return {.label = "lowend", .rob = 40, .issue_width = 2, .store_buffer = 20,
+          .alus = 1, .fpus = 3, .lsus = 1, .irf = 30, .frf = 50};
+}
+inline CoreConfig core_medium() {
+  return {.label = "medium", .rob = 180, .issue_width = 4,
+          .store_buffer = 100, .alus = 3, .fpus = 3, .lsus = 2, .irf = 130,
+          .frf = 70};
+}
+inline CoreConfig core_high() {
+  return {.label = "high", .rob = 224, .issue_width = 6, .store_buffer = 120,
+          .alus = 4, .fpus = 3, .lsus = 2, .irf = 180, .frf = 100};
+}
+inline CoreConfig core_aggressive() {
+  return {.label = "aggressive", .rob = 300, .issue_width = 8,
+          .store_buffer = 150, .alus = 5, .fpus = 4, .lsus = 2, .irf = 210,
+          .frf = 120};
+}
+
+/// All Table I presets in the paper's normalisation order
+/// (figures normalise against "aggressive").
+inline std::vector<CoreConfig> core_presets() {
+  return {core_aggressive(), core_low_end(), core_high(), core_medium()};
+}
+
+}  // namespace musa::cpusim

@@ -1,0 +1,241 @@
+#include "cpusim/core_model.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "isa/latencies.hpp"
+#include "trace/instr_source.hpp"
+
+namespace musa::cpusim {
+
+namespace {
+constexpr double kStoreCommitLatency = 1.0;  // store data into the buffer
+}
+
+CoreModel::CoreModel(const CoreConfig& config, Frequency freq,
+                     cachesim::MemHierarchy& hierarchy,
+                     dramsim::DramSystem& dram, int core_id)
+    : config_(config),
+      freq_(freq),
+      hierarchy_(hierarchy),
+      dram_(dram),
+      core_id_(core_id) {
+  MUSA_CHECK_MSG(config.rob > 0 && config.issue_width > 0, "bad core config");
+  MUSA_CHECK_MSG(config.alus > 0 && config.fpus > 0 && config.lsus > 0,
+                 "core needs FUs");
+  MUSA_CHECK_MSG(config.irf > 0 && config.frf > 0 && config.store_buffer > 0,
+                 "core needs registers and a store buffer");
+}
+
+double CoreModel::fu_acquire(std::vector<double>& pool, double ready,
+                             double busy) {
+  // Pick the earliest-free unit; pools are ≤ 8 entries, linear scan is fine.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < pool.size(); ++i)
+    if (pool[i] < pool[best]) best = i;
+  const double start = std::max(ready, pool[best]);
+  pool[best] = start + busy;
+  return start;
+}
+
+double CoreModel::mem_access(const isa::FusedInstr& op, double issue_cycle,
+                             bool is_write, CoreStats& stats) {
+  const bool prefetch_on = prefetch_enabled_;
+  // A fused memory op touches `lanes` addresses `stride` bytes apart; every
+  // distinct cache line is accessed (so bandwidth and cache state are fully
+  // charged — the paper's fusion model "doubles the size to account for
+  // memory bandwidth"), while the op's load-to-use latency is that of the
+  // leading line: trailing lines stream behind it, matching the paper's
+  // deliberately optimistic vectorisation model (§III).
+  const double period = freq_.period_ns();
+  double lead = -1.0;
+  std::uint64_t prev_line = ~0ull;
+  for (int lane = 0; lane < op.lanes; ++lane) {
+    const std::uint64_t addr =
+        op.first.addr + static_cast<std::uint64_t>(
+                            static_cast<std::int64_t>(lane) * op.stride);
+    const std::uint64_t line = addr / cachesim::kLineBytes;
+    if (line == prev_line) continue;  // coalesced with the previous lane
+    prev_line = line;
+
+    const cachesim::MemOutcome out =
+        hierarchy_.access(core_id_, addr, is_write);
+    double lat = out.latency_cycles;
+    const double issue_ns = issue_cycle * period;
+    if (out.dram_read) {
+      // Line-fill buffer hit: a prefetch already fetched (or is fetching)
+      // this line; pay only the residual time.
+      const auto pf = prefetch_on ? prefetcher_.inflight.find(line)
+                                  : prefetcher_.inflight.end();
+      if (pf != prefetcher_.inflight.end()) {
+        lat = std::max<double>(out.latency_cycles,
+                               (pf->second - issue_ns) / period);
+        prefetcher_.inflight.erase(pf);
+      } else {
+        ++stats.dram_reads;
+        const double done_ns =
+            dram_.request(issue_ns + out.latency_cycles * period, addr,
+                          /*is_write=*/false);
+        lat = (done_ns - issue_ns) / period;
+      }
+
+      // Stream detection per 2 MB region; confident streams prefetch the
+      // next lines so later demand misses find them in flight.
+      if (prefetch_on) {
+        Prefetcher::RegionState& rs = prefetcher_.regions[line >> 15];
+        rs.confidence = line == rs.last_line + 1 ? rs.confidence + 1 : 0;
+        if (line != rs.last_line) rs.last_line = line;
+        if (rs.confidence >= Prefetcher::kConfidence) {
+          for (int ahead = 1; ahead <= Prefetcher::kDepth; ++ahead) {
+            const std::uint64_t next = line + ahead;
+            if (prefetcher_.inflight.count(next)) continue;
+            ++stats.dram_reads;
+            prefetcher_.inflight[next] = dram_.request(
+                issue_ns, next * cachesim::kLineBytes, /*is_write=*/false);
+          }
+          if (prefetcher_.inflight.size() > 8192)
+            prefetcher_.inflight.clear();
+        }
+      }
+    }
+    if (out.dram_writebacks > 0) {
+      stats.dram_writes += out.dram_writebacks;
+      // Write-backs drain in the background; they consume DRAM bandwidth
+      // (affecting later reads through the channel state) but do not stall
+      // this instruction.
+      dram_.request(issue_ns, out.wb_addr, /*is_write=*/true);
+    }
+    if (lead < 0) lead = lat;
+  }
+  return lead < 0 ? hierarchy_.config().l1.latency_cycles : lead;
+}
+
+CoreStats CoreModel::run(trace::InstrSource& source,
+                         const CoreRunOptions& options) {
+  CoreStats stats;
+  prefetch_enabled_ = options.enable_prefetcher;
+  isa::VectorFusion fusion(source, options.vector_bits);
+
+  // Scoreboard of register ready-times.
+  const double t0 = options.start_cycle;
+  std::array<double, isa::kNumRegs> reg_ready{};
+  // Ring buffers of resource release times: an op reusing entry (i mod N)
+  // must wait for that entry's previous owner to release it.
+  std::vector<double> rob_release(config_.rob, t0);
+  std::vector<double> irf_release(config_.irf, t0);
+  std::vector<double> frf_release(config_.frf, t0);
+  std::vector<double> sb_release(config_.store_buffer, t0);
+  std::vector<double> alu_pool(config_.alus, t0);
+  std::vector<double> fpu_pool(config_.fpus, t0);
+  std::vector<double> lsu_pool(config_.lsus, t0);
+
+  const double dispatch_step = 1.0 / config_.issue_width;
+  double last_dispatch = t0;
+  double last_commit = t0;
+  std::uint64_t n = 0, n_int_dst = 0, n_fp_dst = 0, n_store = 0;
+
+  isa::FusedInstr op;
+  while ((options.max_scalar_instrs == 0 ||
+          stats.scalar_instrs < options.max_scalar_instrs) &&
+         (options.max_cycle == 0.0 || last_commit < options.max_cycle) &&
+         fusion.next(op)) {
+    const isa::OpClass cls = op.first.op;
+
+    // ---- Dispatch: bandwidth + ROB + RF + SB occupancy ----
+    double dispatch = std::max(last_dispatch + dispatch_step,
+                               rob_release[n % config_.rob]);
+    const bool has_dst = op.first.dst != isa::kNoReg;
+    const bool fp_dst = has_dst && op.first.dst >= isa::kFpRegBase;
+    if (has_dst) {
+      if (fp_dst)
+        dispatch = std::max(dispatch, frf_release[n_fp_dst % config_.frf]);
+      else
+        dispatch = std::max(dispatch, irf_release[n_int_dst % config_.irf]);
+    }
+    if (cls == isa::OpClass::kStore)
+      dispatch =
+          std::max(dispatch, sb_release[n_store % config_.store_buffer]);
+    last_dispatch = dispatch;
+
+    // ---- Issue: operand readiness + functional unit ----
+    double ready = dispatch;
+    if (op.first.src1 != isa::kNoReg)
+      ready = std::max(ready, reg_ready[op.first.src1]);
+    if (op.first.src2 != isa::kNoReg)
+      ready = std::max(ready, reg_ready[op.first.src2]);
+
+    // Pipelined units occupy one slot-cycle; divides block the unit.
+    const double busy = cls == isa::OpClass::kFpDiv
+                            ? static_cast<double>(isa::exec_latency(cls))
+                            : 1.0;
+    std::vector<double>& pool = isa::is_fp(cls)  ? fpu_pool
+                                : isa::is_mem(cls) ? lsu_pool
+                                                   : alu_pool;
+    const double start = fu_acquire(pool, ready, busy);
+
+    // ---- Execute ----
+    double complete;
+    double release = 0.0;  // extra lifetime for SB entries
+    switch (cls) {
+      case isa::OpClass::kLoad: {
+        const double lat =
+            options.perfect_memory
+                ? hierarchy_.config().l1.latency_cycles
+                : mem_access(op, start, /*is_write=*/false, stats);
+        complete = start + lat;
+        break;
+      }
+      case isa::OpClass::kStore: {
+        complete = start + kStoreCommitLatency;
+        // The buffered store drains to memory after commit; the entry is
+        // held until the write completes.
+        const double drain =
+            options.perfect_memory
+                ? hierarchy_.config().l1.latency_cycles
+                : mem_access(op, start, /*is_write=*/true, stats);
+        release = drain;
+        break;
+      }
+      default:
+        complete = start + isa::exec_latency(cls);
+        break;
+    }
+
+    // ---- Writeback / commit ----
+    if (has_dst) reg_ready[op.first.dst] = complete;
+    const double commit =
+        std::max(complete, last_commit + dispatch_step);
+    last_commit = commit;
+    rob_release[n % config_.rob] = commit;
+    if (has_dst) {
+      // Physical registers recycle at completion (early release): holding
+      // them to commit would double-count the ROB occupancy limit.
+      if (fp_dst)
+        frf_release[n_fp_dst++ % config_.frf] = complete;
+      else
+        irf_release[n_int_dst++ % config_.irf] = complete;
+    }
+    if (cls == isa::OpClass::kStore)
+      sb_release[n_store++ % config_.store_buffer] = commit + release;
+
+    // ---- Statistics ----
+    ++n;
+    ++stats.fused_ops;
+    stats.scalar_instrs += op.lanes;
+    const auto ci = static_cast<std::size_t>(cls);
+    ++stats.class_ops[ci];
+    stats.class_lanes[ci] += op.lanes;
+  }
+
+  stats.cycles = last_commit - t0;
+  stats.l1_accesses = hierarchy_.total_l1_stats().accesses;
+  stats.l1_misses = hierarchy_.total_l1_stats().misses;
+  stats.l2_accesses = hierarchy_.total_l2_stats().accesses;
+  stats.l2_misses = hierarchy_.total_l2_stats().misses;
+  stats.l3_accesses = hierarchy_.l3_stats().accesses;
+  stats.l3_misses = hierarchy_.l3_stats().misses;
+  stats.dram = dram_.total_counters();
+  return stats;
+}
+
+}  // namespace musa::cpusim

@@ -1,0 +1,209 @@
+#include "dramsim/dram.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace musa::dramsim {
+
+DramTiming ddr4_2333() {
+  DramTiming t;
+  t.name = "DDR4-2333";
+  t.tCK = 2.0 / 2.333;  // 1166.5 MHz clock, 2333 MT/s
+  t.tRCD = 14.16;
+  t.tRP = 14.16;
+  t.tCAS = 13.72;  // CL16
+  t.tRAS = 32.0;
+  t.tFAW = 21.0;
+  t.tRFC = 350.0;
+  t.tREFI = 7800.0;
+  t.banks = 16;
+  t.ranks = 1;
+  t.bytes_per_clock = 16.0;  // 64-bit bus, DDR
+  t.row_bytes = 8192;
+  return t;
+}
+
+DramTiming ddr4_2666() {
+  DramTiming t = ddr4_2333();
+  t.name = "DDR4-2666";
+  t.tCK = 2.0 / 2.666;  // 2666 MT/s
+  t.tCAS = 13.5;        // CL18
+  return t;
+}
+
+DramTiming lpddr4_3200() {
+  DramTiming t;
+  t.name = "LPDDR4-3200";
+  t.tCK = 2.0 / 3.2;
+  t.tRCD = 18.0;
+  t.tRP = 21.0;
+  t.tCAS = 17.5;
+  t.tRAS = 42.0;
+  t.tFAW = 40.0;
+  t.tRFC = 280.0;
+  t.tREFI = 3904.0;
+  t.banks = 8;
+  t.ranks = 1;
+  t.bytes_per_clock = 8.0;  // 32-bit channel, DDR
+  t.row_bytes = 2048;
+  return t;
+}
+
+DramTiming wide_io2() {
+  DramTiming t;
+  t.name = "Wide-IO2";
+  t.tCK = 3.75;  // 266 MHz clock, very wide bus
+  t.tRCD = 18.0;
+  t.tRP = 18.0;
+  t.tCAS = 18.0;
+  t.tRAS = 42.0;
+  t.tFAW = 50.0;
+  t.tRFC = 210.0;
+  t.tREFI = 3900.0;
+  t.banks = 8;
+  t.ranks = 1;
+  t.bytes_per_clock = 128.0;  // 512-bit interface, DDR
+  t.row_bytes = 4096;
+  return t;
+}
+
+DramTiming hbm2() {
+  DramTiming t;
+  t.name = "HBM2";
+  t.tCK = 1.0;  // 1 GHz, 2 GT/s
+  t.tRCD = 14.0;
+  t.tRP = 14.0;
+  t.tCAS = 14.0;
+  t.tRAS = 33.0;
+  t.tFAW = 16.0;
+  t.tRFC = 260.0;
+  t.tREFI = 3900.0;
+  t.banks = 32;
+  t.ranks = 1;
+  t.bytes_per_clock = 32.0;  // 128-bit pseudo-channel, DDR
+  t.row_bytes = 2048;
+  return t;
+}
+
+int default_channels(MemTech tech) {
+  switch (tech) {
+    case MemTech::kDdr4_2333:
+    case MemTech::kDdr4_2666:
+      return 4;
+    case MemTech::kLpddr4_3200: return 8;
+    case MemTech::kWideIo2: return 4;
+    case MemTech::kHbm2: return 16;
+  }
+  return 4;
+}
+
+DramTiming timing_for(MemTech tech) {
+  switch (tech) {
+    case MemTech::kDdr4_2333: return ddr4_2333();
+    case MemTech::kDdr4_2666: return ddr4_2666();
+    case MemTech::kLpddr4_3200: return lpddr4_3200();
+    case MemTech::kWideIo2: return wide_io2();
+    case MemTech::kHbm2: return hbm2();
+  }
+  return ddr4_2333();
+}
+
+DramChannel::DramChannel(const DramTiming& timing)
+    : timing_(timing),
+      banks_(static_cast<std::size_t>(timing.banks) * timing.ranks),
+      act_window_(4, -1e18),
+      next_refresh_ns_(timing.tREFI) {
+  MUSA_CHECK_MSG(timing.banks > 0 && timing.ranks > 0, "bad DRAM geometry");
+  MUSA_CHECK_MSG(timing.bytes_per_clock > 0 && timing.tCK > 0,
+                 "bad DRAM data bus parameters");
+}
+
+void DramChannel::advance_refresh(double now_ns) {
+  // All-bank refresh: when a refresh interval elapses, every bank is
+  // unavailable for tRFC and all rows close.
+  while (next_refresh_ns_ <= now_ns) {
+    const double refresh_end = next_refresh_ns_ + timing_.tRFC;
+    for (auto& b : banks_) {
+      b.ready_ns = std::max(b.ready_ns, refresh_end);
+      b.open_row = -1;
+    }
+    ++counters_.refreshes;
+    next_refresh_ns_ += timing_.tREFI;
+  }
+}
+
+double DramChannel::request(double now_ns, std::uint64_t addr, bool is_write) {
+  advance_refresh(now_ns);
+
+  const std::uint64_t line = addr / 64;
+  const std::size_t bank_idx = line % banks_.size();
+  const std::int64_t row = static_cast<std::int64_t>(
+      line / banks_.size() / (timing_.row_bytes / 64));
+  Bank& bank = banks_[bank_idx];
+
+  double cmd_ready = std::max(now_ns, bank.ready_ns);
+  if (bank.open_row == row) {
+    ++counters_.row_hits;
+  } else {
+    if (bank.open_row >= 0) {
+      // Row conflict: precharge first (respecting tRAS since the ACT).
+      cmd_ready = std::max(cmd_ready, bank.act_ns + timing_.tRAS);
+      cmd_ready += timing_.tRP;
+      ++counters_.pres;
+    }
+    // Activate, respecting the per-rank four-activate window.
+    const double faw_gate = act_window_[act_window_pos_] + timing_.tFAW;
+    cmd_ready = std::max(cmd_ready, faw_gate);
+    bank.act_ns = cmd_ready;
+    act_window_[act_window_pos_] = cmd_ready;
+    act_window_pos_ = (act_window_pos_ + 1) % act_window_.size();
+    cmd_ready += timing_.tRCD;
+    ++counters_.acts;
+    bank.open_row = row;
+  }
+
+  // Column command: data starts after CAS latency, once the bus is free.
+  const double data_start = std::max(cmd_ready + timing_.tCAS, bus_free_ns_);
+  const double data_end = data_start + timing_.burst_ns();
+  bus_free_ns_ = data_end;
+  counters_.busy_ns += timing_.burst_ns();
+  // Column commands to an open row pipeline at tCCD (≈ burst) pace.
+  bank.ready_ns = std::max(bank.ready_ns, cmd_ready + timing_.burst_ns());
+  if (is_write)
+    ++counters_.writes;
+  else
+    ++counters_.reads;
+  return data_end;
+}
+
+DramSystem::DramSystem(const DramTiming& timing, int channels)
+    : timing_(timing) {
+  MUSA_CHECK_MSG(channels > 0, "need at least one memory channel");
+  channels_.reserve(channels);
+  for (int c = 0; c < channels; ++c) channels_.emplace_back(timing);
+  last_arrival_ns_.assign(channels, 0.0);
+}
+
+double DramSystem::request(double now_ns, std::uint64_t addr, bool is_write) {
+  const std::uint64_t line = addr / 64;
+  const auto ch = static_cast<std::size_t>(line % channels_.size());
+  // Out-of-order arrivals (interleaved per-core streams with slightly
+  // disagreeing local clocks) are tolerated naturally: the channel serves
+  // each request no earlier than its bank/bus state allows, so an "early"
+  // request simply queues behind the already-committed transfers.
+  last_arrival_ns_[ch] = std::max(last_arrival_ns_[ch], now_ns);
+  // Strip the channel-select bits so consecutive lines on one channel
+  // rotate through all of its banks (standard address mapping).
+  const std::uint64_t channel_local =
+      line / channels_.size() * 64 + addr % 64;
+  return channels_[ch].request(now_ns, channel_local, is_write);
+}
+
+DramCounters DramSystem::total_counters() const {
+  DramCounters total;
+  for (const auto& ch : channels_) total.merge(ch.counters());
+  return total;
+}
+
+}  // namespace musa::dramsim

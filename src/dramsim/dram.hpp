@@ -1,0 +1,109 @@
+// Request-level DRAM system model (the Ramulator-equivalent substrate).
+//
+// Each channel keeps per-bank row-buffer state, data-bus occupancy, a
+// four-activate window per rank, and periodic refresh. Requests are served
+// in arrival order with an open-page policy: row hits pay only CAS, row
+// misses pay ACT(+PRE) first. Because the caller presents requests at their
+// simulated issue times, queueing delay — the bandwidth wall the paper's
+// memory-bound codes hit — emerges from data-bus and bank serialisation.
+//
+// The controller also counts commands (ACT/PRE/RD/WR/REF) exactly as
+// Ramulator's command trace would; powersim's DRAMPower-like model consumes
+// those counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dramsim/timing.hpp"
+
+namespace musa::dramsim {
+
+/// Command counters for one channel (input to the DRAM power model).
+struct DramCounters {
+  std::uint64_t acts = 0;
+  std::uint64_t pres = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t row_hits = 0;
+  double busy_ns = 0.0;  // data-bus occupancy
+
+  void merge(const DramCounters& o) {
+    acts += o.acts;
+    pres += o.pres;
+    reads += o.reads;
+    writes += o.writes;
+    refreshes += o.refreshes;
+    row_hits += o.row_hits;
+    busy_ns += o.busy_ns;
+  }
+};
+
+/// One memory channel: banks, bus, refresh.
+class DramChannel {
+ public:
+  explicit DramChannel(const DramTiming& timing);
+
+  /// Issues a 64-byte line request at time `now_ns`; returns the completion
+  /// time (ns) of the data transfer. Requests must arrive in non-decreasing
+  /// time order per channel.
+  double request(double now_ns, std::uint64_t addr, bool is_write);
+
+  const DramCounters& counters() const { return counters_; }
+  const DramTiming& timing() const { return timing_; }
+
+  /// Clear command counters; bank/bus state stays warm.
+  void reset_counters() { counters_ = DramCounters{}; }
+
+ private:
+  struct Bank {
+    std::int64_t open_row = -1;
+    double ready_ns = 0.0;     // earliest next column command
+    double act_ns = -1e18;     // last ACT time (tRAS accounting)
+  };
+
+  void advance_refresh(double now_ns);
+
+  DramTiming timing_;
+  std::vector<Bank> banks_;
+  std::vector<double> act_window_;  // last 4 ACT times (tFAW), ring buffer
+  std::size_t act_window_pos_ = 0;
+  double bus_free_ns_ = 0.0;
+  double next_refresh_ns_;
+  DramCounters counters_;
+};
+
+/// A multi-channel memory subsystem with line-interleaved channel mapping.
+class DramSystem {
+ public:
+  DramSystem(const DramTiming& timing, int channels);
+
+  /// Routes the request to its channel; see DramChannel::request.
+  /// Out-of-order arrival across the whole system is tolerated: each
+  /// channel clamps time to its own last-seen arrival.
+  double request(double now_ns, std::uint64_t addr, bool is_write);
+
+  int channels() const { return static_cast<int>(channels_.size()); }
+  const DramTiming& timing() const { return timing_; }
+
+  /// Aggregate counters over all channels.
+  DramCounters total_counters() const;
+
+  /// Clear counters on every channel; timing state stays warm.
+  void reset_counters() {
+    for (auto& ch : channels_) ch.reset_counters();
+  }
+
+  /// Aggregate peak bandwidth (GB/s).
+  double peak_gbps() const {
+    return timing_.peak_gbps() * static_cast<double>(channels_.size());
+  }
+
+ private:
+  DramTiming timing_;
+  std::vector<DramChannel> channels_;
+  std::vector<double> last_arrival_ns_;
+};
+
+}  // namespace musa::dramsim

@@ -1,0 +1,77 @@
+// DRAM device timing parameters and technology presets.
+//
+// Equivalent role to Ramulator's standards library: each preset captures a
+// JEDEC-style timing set in nanoseconds plus the channel geometry. The
+// request-level controller in dram.hpp consumes these.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace musa::dramsim {
+
+enum class MemTech : std::uint8_t {
+  kDdr4_2333,   // the paper's baseline (Table I)
+  kDdr4_2666,   // faster DDR4 bin
+  kLpddr4_3200, // mobile-class low-power DRAM
+  kWideIo2,     // 2.5D wide-interface stack
+  kHbm2,        // high-bandwidth on-package memory (Table II MEM++)
+};
+
+constexpr const char* mem_tech_name(MemTech t) {
+  switch (t) {
+    case MemTech::kDdr4_2333: return "DDR4-2333";
+    case MemTech::kDdr4_2666: return "DDR4-2666";
+    case MemTech::kLpddr4_3200: return "LPDDR4-3200";
+    case MemTech::kWideIo2: return "Wide-IO2";
+    case MemTech::kHbm2: return "HBM2";
+  }
+  return "?";
+}
+
+/// Per-channel timing and geometry. All times in nanoseconds.
+struct DramTiming {
+  std::string name;
+  double tCK = 0.857;       // memory clock period
+  double tRCD = 14.16;      // ACT -> column command
+  double tRP = 14.16;       // PRE -> ACT
+  double tCAS = 14.16;      // column command -> first data (CL)
+  double tRAS = 32.0;       // ACT -> PRE minimum
+  double tFAW = 21.0;       // four-activate window (per rank)
+  double tRFC = 350.0;      // refresh cycle time
+  double tREFI = 7800.0;    // refresh interval
+  int banks = 16;           // banks per rank
+  int ranks = 1;            // ranks per channel
+  double bytes_per_clock = 16.0;  // data bus: bytes transferred per tCK
+  std::uint64_t row_bytes = 8192; // row-buffer coverage per bank
+
+  /// Time to stream one 64-byte line over the data bus.
+  double burst_ns() const { return 64.0 / bytes_per_clock * tCK; }
+  /// Peak channel bandwidth in GB/s.
+  double peak_gbps() const { return bytes_per_clock / tCK; }
+};
+
+/// DDR4-2333, CL16, single-rank RDIMM (Micron datasheet class): the paper's
+/// baseline memory (Table I, 4- or 8-channel).
+DramTiming ddr4_2333();
+
+/// DDR4-2666, CL18: a faster commodity bin.
+DramTiming ddr4_2666();
+
+/// LPDDR4-3200: 32-bit channels, longer core timings, low standby power.
+DramTiming lpddr4_3200();
+
+/// Wide-IO2: very wide (512-bit) slow-clock stacked interface.
+DramTiming wide_io2();
+
+/// HBM2-like stack: many narrow pseudo-channels on-package; lower queueing
+/// latency and far higher aggregate bandwidth (used by MEM++ in Table II).
+DramTiming hbm2();
+
+/// Channels a technology exposes per "memory subsystem unit": DDR4 counts
+/// DIMM channels (the paper sweeps 4/8/16); HBM2 has 16 pseudo-channels.
+int default_channels(MemTech tech);
+
+DramTiming timing_for(MemTech tech);
+
+}  // namespace musa::dramsim

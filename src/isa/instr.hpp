@@ -1,0 +1,72 @@
+// Architecture-neutral dynamic instruction record.
+//
+// This mirrors what MUSA's DynamoRIO-based tracer emits: opcode class,
+// register operands, and memory address/size for loads/stores. Vector
+// instructions are traced *decomposed into scalar lanes* carrying a marker
+// (`static_id` + `lane`) identifying the originating static SIMD instruction;
+// the simulator's fusion pass (vector_fusion.hpp) re-widens them to the
+// simulated vector length (paper §III, "Support for vectorization").
+#pragma once
+
+#include <cstdint>
+
+namespace musa::isa {
+
+/// Functional classes the timing model distinguishes.
+enum class OpClass : std::uint8_t {
+  kIntAlu,   // integer ALU / address arithmetic
+  kIntMul,   // integer multiply
+  kFpAdd,    // FP add/sub/compare
+  kFpMul,    // FP multiply / FMA
+  kFpDiv,    // FP divide / sqrt
+  kLoad,     // memory read
+  kStore,    // memory write
+  kBranch,   // control flow
+};
+
+constexpr int kNumOpClasses = 8;
+
+constexpr bool is_fp(OpClass op) {
+  return op == OpClass::kFpAdd || op == OpClass::kFpMul ||
+         op == OpClass::kFpDiv;
+}
+constexpr bool is_mem(OpClass op) {
+  return op == OpClass::kLoad || op == OpClass::kStore;
+}
+
+constexpr const char* op_class_name(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return "int_alu";
+    case OpClass::kIntMul: return "int_mul";
+    case OpClass::kFpAdd: return "fp_add";
+    case OpClass::kFpMul: return "fp_mul";
+    case OpClass::kFpDiv: return "fp_div";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kBranch: return "branch";
+  }
+  return "?";
+}
+
+/// Register index space: 0..31 integer, 32..63 FP. kNoReg = no operand.
+constexpr std::uint8_t kNoReg = 0xff;
+constexpr int kNumRegs = 64;
+constexpr std::uint8_t kFpRegBase = 32;
+
+/// One dynamic instruction. Kept as a 24-byte POD: traces are streamed by
+/// the million, so size matters.
+struct Instr {
+  std::uint64_t addr = 0;       // effective address (mem ops only)
+  std::uint32_t static_id = 0;  // originating static instruction (fusion key)
+  std::uint16_t lane = 0;       // SIMD lane index within static_id group
+  std::uint8_t size = 0;        // access size in bytes (mem ops only)
+  OpClass op = OpClass::kIntAlu;
+  std::uint8_t dst = kNoReg;    // destination register
+  std::uint8_t src1 = kNoReg;   // source registers
+  std::uint8_t src2 = kNoReg;
+  std::uint8_t vectorizable = 0;  // 1 if part of a fusable SIMD group
+};
+
+static_assert(sizeof(Instr) <= 24, "Instr should stay compact");
+
+}  // namespace musa::isa

@@ -1,0 +1,25 @@
+// Execution latencies per functional class (cycles, non-memory).
+// Memory latencies come from the cache/DRAM simulators instead.
+#pragma once
+
+#include "isa/instr.hpp"
+
+namespace musa::isa {
+
+/// Typical server-core execution latencies; loads/stores return the
+/// address-generation cost only (the memory system adds the rest).
+constexpr int exec_latency(OpClass op) {
+  switch (op) {
+    case OpClass::kIntAlu: return 1;
+    case OpClass::kIntMul: return 3;
+    case OpClass::kFpAdd: return 3;
+    case OpClass::kFpMul: return 4;
+    case OpClass::kFpDiv: return 18;
+    case OpClass::kLoad: return 1;
+    case OpClass::kStore: return 1;
+    case OpClass::kBranch: return 1;
+  }
+  return 1;
+}
+
+}  // namespace musa::isa

@@ -1,0 +1,100 @@
+#include "isa/vector_fusion.hpp"
+
+#include "common/check.hpp"
+#include "trace/instr_source.hpp"
+
+namespace musa::isa {
+
+VectorFusion::VectorFusion(trace::InstrSource& source, int vector_bits,
+                           int element_bits,
+                           std::uint64_t max_fusion_distance)
+    : source_(source) {
+  MUSA_CHECK_MSG(element_bits > 0 && vector_bits >= element_bits,
+                 "vector width must be at least one element wide");
+  MUSA_CHECK_MSG(vector_bits % element_bits == 0,
+                 "vector width must be a whole number of elements");
+  target_lanes_ = vector_bits / element_bits;
+  if (max_fusion_distance > 0) max_distance_ = max_fusion_distance;
+}
+
+void VectorFusion::emit_group(const Group& g, FusedInstr& out) {
+  out.first = g.first;
+  out.lanes = g.count;
+  out.stride = g.stride;
+  out.bytes = is_mem(g.first.op) ? g.bytes : 0;
+  ++stats_.out_instrs;
+  if (g.count == target_lanes_ && target_lanes_ > 1) ++stats_.full_groups;
+}
+
+bool VectorFusion::flush_one(FusedInstr& out, bool only_stale) {
+  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+    if (only_stale &&
+        stats_.in_instrs - it->second.started_at <= max_distance_)
+      continue;
+    emit_group(it->second, out);
+    if (it->second.count < target_lanes_) ++stats_.partial_flushes;
+    groups_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool VectorFusion::next(FusedInstr& out) {
+  while (true) {
+    // Emit anything already produced, preserving completion order.
+    if (!ready_.empty()) {
+      out = ready_.front();
+      ready_.erase(ready_.begin());
+      return true;
+    }
+
+    isa::Instr in;
+    if (source_done_ || !source_.next(in)) {
+      // End of stream: drain remaining partial groups.
+      source_done_ = true;
+      return flush_one(out, /*only_stale=*/false);
+    }
+    ++stats_.in_instrs;
+
+    // Groups older than the fusion window flush partial — the loop's run
+    // ended before the group filled. Distance ticks on *every* consumed
+    // instruction, vectorizable or not.
+    FusedInstr stale;
+    while (flush_one(stale, /*only_stale=*/true)) ready_.push_back(stale);
+
+    if (!in.vectorizable || target_lanes_ <= 1) {
+      FusedInstr scalar;
+      scalar.first = in;
+      scalar.lanes = 1;
+      scalar.stride = 0;
+      scalar.bytes = is_mem(in.op) ? in.size : 0;
+      ++stats_.out_instrs;
+      ready_.push_back(scalar);
+      continue;
+    }
+
+    auto [it, inserted] = groups_.try_emplace(in.static_id);
+    Group& g = it->second;
+    if (inserted) {
+      g.first = in;
+      g.count = 1;
+      g.bytes = in.size;
+      g.started_at = stats_.in_instrs;
+    } else {
+      if (g.count == 1)
+        g.stride = static_cast<std::int64_t>(in.addr) -
+                   static_cast<std::int64_t>(g.first.addr);
+      ++g.count;
+      g.bytes += in.size;
+    }
+
+    if (g.count >= target_lanes_) {
+      FusedInstr full;
+      emit_group(g, full);
+      groups_.erase(it);
+      ready_.push_back(full);
+    }
+  }
+}
+
+}  // namespace musa::isa

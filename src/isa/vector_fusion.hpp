@@ -1,0 +1,91 @@
+// Vector-fusion model (paper §III, "Support for vectorization").
+//
+// MUSA traces SIMD code *decomposed into scalar lanes*: every dynamic lane of
+// a static vector instruction carries the same `static_id` marker. At
+// simulation time this pass re-fuses marked scalar instructions into wide
+// operations of the requested vector length:
+//
+//  * lanes of the same static instruction are accumulated until
+//    `vector_bits / element_bits` of them have been seen, then emitted as a
+//    single fused operation;
+//  * fusing *beyond* the traced width works by combining dynamic instances of
+//    the same static instruction across consecutive loop iterations — the
+//    paper requires the basic block to execute "several times in a row",
+//    which we enforce with a maximum fusion distance: a group that stays
+//    partial for too long (short trip-count loops, e.g. LULESH) is flushed
+//    unfused, so short loops see no benefit from wider units;
+//  * memory operations fuse too: the fused access covers all lane addresses
+//    (contiguous lanes coalesce into fewer cache-line touches, strided lanes
+//    do not), which models the bandwidth cost the paper accounts for.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace musa::trace {
+class InstrSource;  // forward-declared; defined in trace/instr_source.hpp
+}
+
+namespace musa::isa {
+
+/// A (possibly) fused operation handed to the timing model.
+struct FusedInstr {
+  Instr first;            // representative instruction (op, regs, first addr)
+  std::uint16_t lanes = 1;    // how many scalar lanes were fused
+  std::int64_t stride = 0;    // address stride between consecutive lanes
+  std::uint32_t bytes = 0;    // total bytes touched (mem ops only)
+};
+
+struct FusionStats {
+  std::uint64_t in_instrs = 0;    // scalar instructions consumed
+  std::uint64_t out_instrs = 0;   // fused operations emitted
+  std::uint64_t full_groups = 0;  // groups fused to the full target width
+  std::uint64_t partial_flushes = 0;  // groups flushed below target width
+};
+
+/// Streaming fusion transformer. Wraps an InstrSource and yields FusedInstr.
+///
+/// `vector_bits` ∈ {64, 128, 256, ...}: 64 disables fusion (pure scalar).
+/// `element_bits` is the traced lane width (64 for double-precision codes).
+class VectorFusion {
+ public:
+  /// `max_fusion_distance` overrides kMaxFusionDistance (ablation knob).
+  VectorFusion(trace::InstrSource& source, int vector_bits,
+               int element_bits = 64, std::uint64_t max_fusion_distance = 0);
+
+  /// Next fused operation; false at end of stream (all groups flushed).
+  bool next(FusedInstr& out);
+
+  const FusionStats& stats() const { return stats_; }
+  int target_lanes() const { return target_lanes_; }
+
+  /// Groups older than this many consumed instructions are flushed partial.
+  /// Models the "executed several times in a row" requirement: a loop whose
+  /// trip count ends before the group fills never reaches the full width.
+  static constexpr std::uint64_t kMaxFusionDistance = 4096;
+
+ private:
+  struct Group {
+    Instr first;
+    std::uint16_t count = 0;
+    std::int64_t stride = 0;
+    std::uint32_t bytes = 0;
+    std::uint64_t started_at = 0;  // in_instrs when the group opened
+  };
+
+  void emit_group(const Group& g, FusedInstr& out);
+  bool flush_one(FusedInstr& out, bool only_stale);
+
+  trace::InstrSource& source_;
+  int target_lanes_;
+  std::uint64_t max_distance_ = kMaxFusionDistance;
+  std::unordered_map<std::uint32_t, Group> groups_;
+  std::vector<FusedInstr> ready_;  // completed groups awaiting emission
+  FusionStats stats_;
+  bool source_done_ = false;
+};
+
+}  // namespace musa::isa

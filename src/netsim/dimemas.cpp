@@ -1,0 +1,269 @@
+#include "netsim/dimemas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace musa::netsim {
+
+namespace {
+
+/// Deterministic ~N(1, sigma) factor for burst `idx` of `rank`.
+double jitter_factor(int rank, int idx, double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  Rng rng((static_cast<std::uint64_t>(rank) << 24) ^
+          (static_cast<std::uint64_t>(idx) * 0x9e3779b9ull) ^
+          0x51c0ffeeull);
+  return std::max(0.3, rng.next_normal(1.0, sigma));
+}
+
+struct Message {
+  double arrival = 0.0;
+};
+
+struct Collective {
+  int entered = 0;
+  double max_enter = 0.0;
+  double completion = -1.0;  // < 0 until all ranks entered
+};
+
+struct PendingReq {
+  bool is_recv = false;
+  int peer = -1;
+  double completion = -1.0;  // resolved completion; < 0 = unmatched recv
+};
+
+struct RankState {
+  std::size_t ip = 0;   // next event index
+  double t = 0.0;
+  bool done = false;
+  int collectives_crossed = 0;
+  std::unordered_map<int, PendingReq> reqs;
+};
+
+int ceil_log2(int p) {
+  int bits = 0;
+  int v = 1;
+  while (v < p) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+ReplayResult DimemasEngine::replay(const trace::AppTrace& app,
+                                   const ReplayOptions& options) const {
+  const int P = app.num_ranks();
+  MUSA_CHECK_MSG(P >= 1, "trace has no ranks");
+
+  auto scale_of = [&](int region_id) {
+    if (region_id >= 0 &&
+        static_cast<std::size_t>(region_id) < options.region_scale.size())
+      return options.region_scale[region_id];
+    return 1.0;
+  };
+
+  std::vector<RankState> st(P);
+  // Per (src,dst) in-flight message queues; key = src * P + dst.
+  std::unordered_map<std::int64_t, std::deque<Message>> channels;
+  std::vector<double> out_link_free(P, 0.0);
+  std::vector<Collective> collectives;
+  double bus_free = 0.0;  // shared medium (Topology::kBus only)
+
+  ReplayResult result;
+  result.ranks.resize(P);
+
+  const int tree_depth = std::max(1, ceil_log2(P));
+
+  auto push_seg = [&](int rank, double start, double end, RankSeg::Kind k) {
+    if (options.record_timeline && end > start)
+      result.timeline.push_back(
+          {.rank = rank, .start = start, .end = end, .kind = k});
+  };
+
+  // Sender-side transfer: serialises on the rank's output link (and, for a
+  // bus topology, on the shared medium); latency scales with the topology's
+  // hop distance. Returns the message's arrival time at the destination and
+  // the time the *sender* may continue (injection for eager, full transfer
+  // for rendezvous).
+  auto transmit = [&](int src, int dst, double post_t, std::uint64_t bytes,
+                      double& sender_continue) {
+    const double inject = static_cast<double>(bytes) /
+                          (config_.bandwidth_gbps * 1e9);
+    double start = std::max(post_t, out_link_free[src]);
+    if (config_.topology == Topology::kBus) {
+      start = std::max(start, bus_free);
+      bus_free = start + inject;
+    }
+    out_link_free[src] = start + inject;
+    const int hops = hop_count(config_.topology, src, dst, P);
+    const double arrival = start + config_.latency_s * hops + inject;
+    sender_continue = bytes <= config_.eager_threshold ? start + inject
+                                                       : arrival;
+    return arrival;
+  };
+
+  bool all_done = false;
+  while (!all_done) {
+    bool progress = false;
+    all_done = true;
+
+    for (int r = 0; r < P; ++r) {
+      RankState& s = st[r];
+      if (s.done) continue;
+      const auto& events = app.ranks[r].events;
+
+      // Advance this rank until it blocks or drains.
+      while (s.ip < events.size()) {
+        const trace::BurstEvent& e = events[s.ip];
+
+        if (e.kind == trace::BurstEvent::Kind::kCompute) {
+          const double d = e.seconds * scale_of(e.region_id) *
+                           jitter_factor(r, static_cast<int>(s.ip),
+                                         options.region_jitter_sigma);
+          push_seg(r, s.t, s.t + d, RankSeg::Kind::kCompute);
+          result.ranks[r].compute_s += d;
+          s.t += d;
+          ++s.ip;
+          progress = true;
+          continue;
+        }
+
+        const double entry = s.t;
+        bool blocked = false;
+        switch (e.op) {
+          case trace::MpiOp::kSend:
+          case trace::MpiOp::kIsend: {
+            double cont = entry;
+            const double arrival = transmit(r, e.peer, entry, e.bytes, cont);
+            channels[static_cast<std::int64_t>(r) * P + e.peer].push_back(
+                {arrival});
+            if (e.op == trace::MpiOp::kSend) {
+              s.t = cont;
+            } else {
+              // Isend returns immediately; Wait resolves at `cont`.
+              s.reqs[e.req] = {.is_recv = false, .peer = e.peer,
+                               .completion = cont};
+            }
+            break;
+          }
+          case trace::MpiOp::kRecv: {
+            auto& q = channels[static_cast<std::int64_t>(e.peer) * P + r];
+            if (q.empty()) {
+              if (st[e.peer].done)
+                throw SimError("Recv with no matching Send in trace");
+              blocked = true;
+              break;
+            }
+            s.t = std::max(entry, q.front().arrival);
+            q.pop_front();
+            break;
+          }
+          case trace::MpiOp::kIrecv: {
+            // Never blocks: try to bind a message now; otherwise resolve at
+            // the matching Wait.
+            auto& q = channels[static_cast<std::int64_t>(e.peer) * P + r];
+            PendingReq req{.is_recv = true, .peer = e.peer};
+            if (!q.empty()) {
+              req.completion = q.front().arrival;
+              q.pop_front();
+            }
+            s.reqs[e.req] = req;
+            break;
+          }
+          case trace::MpiOp::kWait: {
+            auto it = s.reqs.find(e.req);
+            MUSA_CHECK_MSG(it != s.reqs.end(), "Wait on unknown request");
+            PendingReq& req = it->second;
+            if (req.is_recv && req.completion < 0) {
+              auto& q =
+                  channels[static_cast<std::int64_t>(req.peer) * P + r];
+              if (q.empty()) {
+                if (st[req.peer].done)
+                  throw SimError("Wait(recv) with no matching Send");
+                blocked = true;
+                break;
+              }
+              req.completion = q.front().arrival;
+              q.pop_front();
+            }
+            s.t = std::max(entry, req.completion);
+            s.reqs.erase(it);
+            break;
+          }
+          case trace::MpiOp::kAllreduce:
+          case trace::MpiOp::kBarrier: {
+            const int k = s.collectives_crossed;
+            if (static_cast<std::size_t>(k) >= collectives.size())
+              collectives.resize(k + 1);
+            Collective& col = collectives[k];
+            // Count this rank's entry exactly once across re-tries (a
+            // blocked rank revisits the same event on every pass; the
+            // sentinel request id marks "entry already registered").
+            if (!s.reqs.count(-1000 - k)) {
+              s.reqs[-1000 - k] = {};  // sentinel: entry registered
+              ++col.entered;
+              col.max_enter = std::max(col.max_enter, entry);
+              if (col.entered == P) {
+                // Tree collectives: each of the log2(P) stages crosses the
+                // topology (diameter hops at worst in the upper stages).
+                const int dia = diameter(config_.topology, P);
+                const double step =
+                    e.op == trace::MpiOp::kAllreduce
+                        ? 2.0 * tree_depth * config_.transfer_s(e.bytes, dia)
+                        : 1.0 * tree_depth * config_.latency_s * dia;
+                col.completion = col.max_enter + step;
+              }
+            }
+            if (col.completion < 0) {
+              blocked = true;
+              break;
+            }
+            s.reqs.erase(-1000 - k);
+            ++s.collectives_crossed;
+            s.t = std::max(entry, col.completion);
+            break;
+          }
+        }
+
+        if (blocked) break;
+
+        // Account MPI time and advance.
+        const bool collective = e.op == trace::MpiOp::kAllreduce ||
+                                e.op == trace::MpiOp::kBarrier;
+        const double waited = s.t - entry;
+        if (collective) {
+          result.ranks[r].collective_s += waited;
+          push_seg(r, entry, s.t, RankSeg::Kind::kCollective);
+        } else {
+          result.ranks[r].p2p_s += waited;
+          push_seg(r, entry, s.t, RankSeg::Kind::kP2p);
+        }
+        ++s.ip;
+        progress = true;
+      }
+
+      if (s.ip >= events.size() && !s.done) {
+        s.done = true;
+        result.ranks[r].finish_s = s.t;
+        progress = true;
+      }
+      all_done = all_done && s.done;
+    }
+
+    if (!all_done && !progress)
+      throw SimError("MPI replay deadlock: no rank can progress");
+  }
+
+  for (const auto& rs : result.ranks)
+    result.total_seconds = std::max(result.total_seconds, rs.finish_s);
+  return result;
+}
+
+}  // namespace musa::netsim

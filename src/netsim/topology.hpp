@@ -1,0 +1,43 @@
+// Network topologies for the replay engine.
+//
+// Dimemas models an abstract latency/bandwidth network; production machines
+// differ mostly in *distance* (hop count) and shared-medium contention.
+// This module adds the classical topologies so network sensitivity can be
+// studied (the paper's related work — CODES — focuses on exactly this):
+//
+//   kCrossbar — non-blocking, every pair one hop (the paper's baseline,
+//               MareNostrum-like fat network),
+//   kBus      — single shared medium: all transfers serialise,
+//   kTorus2D  — square 2-D torus, Manhattan-with-wraparound hop distance,
+//   kFatTree  — two-level switch hierarchy of the given radix: 2 hops
+//               inside a leaf switch, 4 hops across.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace musa::netsim {
+
+enum class Topology : std::uint8_t { kCrossbar, kBus, kTorus2D, kFatTree };
+
+constexpr const char* topology_name(Topology t) {
+  switch (t) {
+    case Topology::kCrossbar: return "crossbar";
+    case Topology::kBus: return "bus";
+    case Topology::kTorus2D: return "torus2d";
+    case Topology::kFatTree: return "fat-tree";
+  }
+  return "?";
+}
+
+/// Switch radix used by kFatTree leaf switches.
+constexpr int kFatTreeRadix = 16;
+
+/// Hop count between two ranks for a topology with P nodes.
+int hop_count(Topology topology, int src, int dst, int nodes);
+
+/// Network diameter (worst-case hops) — used for collective cost scaling.
+int diameter(Topology topology, int nodes);
+
+}  // namespace musa::netsim

@@ -1,0 +1,139 @@
+#include "powersim/power.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+#include "powersim/tech.hpp"
+
+namespace musa::powersim {
+
+namespace {
+// Per-lane functional-unit dynamic energies at 1.0 V, picojoules.
+constexpr double kLaneEnergyPj[isa::kNumOpClasses] = {
+    90.0,   // int_alu
+    220.0,  // int_mul
+    220.0,  // fp_add
+    300.0,  // fp_mul
+    750.0,  // fp_div
+    75.0,   // load (AGU + LSQ)
+    75.0,   // store
+    60.0,   // branch
+};
+// SIMD lanes share control/scheduling; per-lane energy shrinks slightly.
+constexpr double kSimdAmortization = 0.95;
+constexpr double kL1AccessPj = 200.0;
+
+constexpr double kPj = 1e-12;
+}  // namespace
+
+CorePower::CorePower(const cpusim::CoreConfig& core, int vector_bits,
+                     double freq_ghz)
+    : core_(core),
+      vector_bits_(vector_bits),
+      volts_(voltage_for_ghz(freq_ghz)) {
+  MUSA_CHECK_MSG(vector_bits >= 64, "vector width below one lane");
+  // Front-end/decode + rename/ROB write + physical RF access, per fused op.
+  per_op_overhead_pj_ = 130.0 + 0.2 * core_.rob + 10.0 * core_.issue_width +
+                        40.0 + 0.1 * (core_.irf + core_.frf);
+}
+
+double CorePower::op_energy_j(isa::OpClass cls, double lanes) const {
+  const double lane_pj = kLaneEnergyPj[static_cast<std::size_t>(cls)];
+  const double fu_pj =
+      lanes <= 1.0 ? lane_pj : lanes * lane_pj * kSimdAmortization;
+  return (per_op_overhead_pj_ + fu_pj) * kPj * dynamic_scale(volts_);
+}
+
+double CorePower::core_leakage_w() const {
+  // Structure leakage at 1.0 V; the FPU array grows with vector width.
+  const double fpu_lanes = static_cast<double>(vector_bits_) / 128.0;
+  const double watts_1v = 0.08                          // misc logic
+                          + 0.0006 * core_.rob          // ROB CAM/RAM
+                          + 0.00045 * (core_.irf + core_.frf)
+                          + 0.0015 * core_.store_buffer
+                          + 0.04 * (core_.alus + core_.lsus)
+                          + 0.11 * core_.fpus * fpu_lanes
+                          + 0.12;                       // L1 I+D arrays
+  return watts_1v * leakage_scale(volts_);
+}
+
+double CorePower::evaluate_w(const NodeActivity& activity) const {
+  double dynamic = 0.0;
+  for (int c = 0; c < isa::kNumOpClasses; ++c) {
+    const double ops = activity.ops_s[c];
+    if (ops <= 0) continue;
+    const double lanes_per_op = activity.lanes_s[c] / ops;
+    dynamic +=
+        ops * op_energy_j(static_cast<isa::OpClass>(c), lanes_per_op);
+  }
+  dynamic += activity.l1_access_s * kL1AccessPj * kPj * dynamic_scale(volts_);
+  // Every core leaks, busy or idle; clock/uncore overhead folds into the
+  // per-core leakage term.
+  const double leakage = activity.total_cores * core_leakage_w();
+  return dynamic + leakage;
+}
+
+double CorePower::core_area_mm2() const {
+  const double fpu_lanes = static_cast<double>(vector_bits_) / 128.0;
+  return 1.2                              // front-end, misc logic
+         + 0.004 * core_.rob              // ROB
+         + 0.003 * (core_.irf + core_.frf)
+         + 0.005 * core_.store_buffer
+         + 0.35 * (core_.alus + core_.lsus)
+         + 0.55 * core_.fpus * fpu_lanes  // SIMD datapath dominates
+         + 0.9;                           // L1 I+D arrays
+}
+
+double CachePower::area_mm2(int total_cores) const {
+  const double mb = (static_cast<double>(caches_.l2.size_bytes) * total_cores +
+                     static_cast<double>(caches_.l3.size_bytes)) /
+                    (1024.0 * 1024.0);
+  return 0.8 * mb;
+}
+
+CachePower::CachePower(const cachesim::HierarchyConfig& caches,
+                       double freq_ghz)
+    : caches_(caches), volts_(voltage_for_ghz(freq_ghz)) {}
+
+double CachePower::evaluate_w(const NodeActivity& activity) const {
+  // Dynamic: per-access energy grows with the square root of array size
+  // (longer word/bit lines), anchored at 250 pJ per 256 kB-L2 access and
+  // 1 nJ per 32 MB-L3 access.
+  const double l2_pj =
+      250.0 * std::sqrt(static_cast<double>(caches_.l2.size_bytes) /
+                        (256.0 * 1024.0));
+  const double l3_pj =
+      1000.0 * std::sqrt(static_cast<double>(caches_.l3.size_bytes) /
+                         (32.0 * 1024.0 * 1024.0));
+  const double dynamic = (activity.l2_access_s * l2_pj +
+                          activity.l3_access_s * l3_pj) *
+                         kPj * dynamic_scale(volts_);
+  // Leakage: 0.15 W per MB of SRAM at 1.0 V (L2 per core + shared L3).
+  const double mb = (static_cast<double>(caches_.l2.size_bytes) *
+                         activity.total_cores +
+                     static_cast<double>(caches_.l3.size_bytes)) /
+                    (1024.0 * 1024.0);
+  const double leakage = 0.15 * mb * leakage_scale(volts_);
+  return dynamic + leakage;
+}
+
+DramPower::DramPower(int dimms) : dimms_(dimms) {
+  MUSA_CHECK_MSG(dimms >= 1, "need at least one DIMM");
+}
+
+double DramPower::evaluate_w(const dramsim::DramCounters& counters,
+                             double duration_s) const {
+  // Background (precharge/active standby, PLL, termination): per DIMM.
+  const double background = 1.2 * dimms_;
+  if (duration_s <= 0) return background;
+  // Command energies per Micron DDR4 datasheet class (nJ).
+  const double dyn_j = (static_cast<double>(counters.acts) * 8.0 +
+                        static_cast<double>(counters.reads) * 12.0 +
+                        static_cast<double>(counters.writes) * 14.0 +
+                        static_cast<double>(counters.refreshes) * 50.0) *
+                       1e-9;
+  return background + dyn_j / duration_s;
+}
+
+}  // namespace musa::powersim

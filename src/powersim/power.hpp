@@ -1,0 +1,107 @@
+// Node power models.
+//
+//  * CorePower: McPAT-equivalent structure-based model of the multicore —
+//    per-operation dynamic energies sized by the OoO structures (ROB, RFs,
+//    issue width, FUs at the configured vector width) plus per-structure
+//    leakage. Idle cores still burn leakage — the effect behind the paper's
+//    conclusion that poor parallel efficiency wastes static power.
+//  * CachePower: dynamic energy per access (∝ √size) + leakage (∝ capacity)
+//    for the L2/L3 arrays.
+//  * DramPower: DRAMPower-equivalent — background power per DIMM plus
+//    per-command energies driven by the DRAM simulator's command counters.
+//
+// All dynamic energies are quoted at 1.0 V and scaled by V²; leakage scales
+// by V (tech.hpp). The node report splits power into the paper's three
+// components: Core+L1, L2+L3Cache, and Memory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "cachesim/hierarchy.hpp"
+#include "cpusim/core_config.hpp"
+#include "dramsim/dram.hpp"
+#include "isa/instr.hpp"
+
+namespace musa::powersim {
+
+/// Node-level activity rates (events per second) plus occupancy.
+struct NodeActivity {
+  std::array<double, isa::kNumOpClasses> ops_s{};    // fused ops / s
+  std::array<double, isa::kNumOpClasses> lanes_s{};  // scalar lanes / s
+  double l1_access_s = 0.0;
+  double l2_access_s = 0.0;
+  double l3_access_s = 0.0;
+  double active_cores = 0.0;  // average busy cores (≤ total_cores)
+  int total_cores = 1;        // all of them leak
+};
+
+/// The paper's three power components (Figs 5b–9b).
+struct PowerBreakdown {
+  double core_l1_w = 0.0;
+  double l2_l3_w = 0.0;
+  double dram_w = 0.0;
+
+  double total() const { return core_l1_w + l2_l3_w + dram_w; }
+};
+
+/// McPAT-like multicore power model.
+class CorePower {
+ public:
+  CorePower(const cpusim::CoreConfig& core, int vector_bits, double freq_ghz);
+
+  /// Dynamic energy of one fused operation of class `cls` spanning `lanes`
+  /// scalar lanes, in joules (at the configured voltage).
+  double op_energy_j(isa::OpClass cls, double lanes) const;
+
+  /// Leakage power of one core (including its L1), watts.
+  double core_leakage_w() const;
+
+  /// Silicon area of one core (including its L1) at 22 nm, mm².
+  /// McPAT-style structure sum: ROB/RF CAMs, FU datapaths (FPUs grow with
+  /// the configured vector width), buffers, and the L1 arrays.
+  double core_area_mm2() const;
+
+  /// Core+L1 power for the given activity.
+  double evaluate_w(const NodeActivity& activity) const;
+
+ private:
+  cpusim::CoreConfig core_;
+  int vector_bits_;
+  double volts_;
+  double per_op_overhead_pj_;  // front-end + rename/ROB + RF access, at 1 V
+};
+
+/// L2/L3 array power model.
+class CachePower {
+ public:
+  CachePower(const cachesim::HierarchyConfig& caches, double freq_ghz);
+
+  double evaluate_w(const NodeActivity& activity) const;
+
+  /// Silicon area of the L2/L3 arrays at 22 nm, mm² (≈ 0.8 mm²/MB SRAM).
+  double area_mm2(int total_cores) const;
+
+ private:
+  cachesim::HierarchyConfig caches_;
+  double volts_;
+};
+
+/// DRAMPower-like DIMM model.
+class DramPower {
+ public:
+  /// `dimms`: populated modules (the paper uses 2 DIMMs per channel: 8 for
+  /// 4-channel / 64 GB, 16 for 8-channel / 128 GB).
+  explicit DramPower(int dimms);
+
+  /// Average power over `duration_s` given the controller's command counts.
+  double evaluate_w(const dramsim::DramCounters& counters,
+                    double duration_s) const;
+
+  static int dimms_for_channels(int channels) { return 2 * channels; }
+
+ private:
+  int dimms_;
+};
+
+}  // namespace musa::powersim

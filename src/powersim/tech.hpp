@@ -1,0 +1,20 @@
+// Technology model: 22 nm voltage/frequency pairs (paper §V-B.5: "we provide
+// McPAT with adequate voltage parameters to scale up voltage accordingly to
+// 22nm process technology").
+#pragma once
+
+namespace musa::powersim {
+
+/// Supply voltage for a target clock, linear V/f curve anchored at the
+/// paper's operating points (1.5 GHz → 0.75 V ... 3.0 GHz → 1.05 V).
+constexpr double voltage_for_ghz(double ghz) {
+  return 0.45 + 0.2 * ghz;
+}
+
+/// Dynamic energy scales with V² (energies below are quoted at 1.0 V).
+constexpr double dynamic_scale(double volts) { return volts * volts; }
+
+/// Leakage power scales ~linearly with V in the region of interest.
+constexpr double leakage_scale(double volts) { return volts; }
+
+}  // namespace musa::powersim

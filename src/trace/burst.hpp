@@ -1,0 +1,86 @@
+// Burst (coarse-grain) traces — the Extrae-level trace of MUSA.
+//
+// A burst trace records, per MPI rank, the alternating sequence of compute
+// bursts and MPI calls over the whole execution. Compute burst durations are
+// the *reference machine* timings; the Dimemas-style replay engine
+// (netsim) rescales them with factors obtained from detailed simulation of
+// the sampled region, then simulates the MPI events on a network model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace musa::trace {
+
+enum class MpiOp : std::uint8_t {
+  kSend,       // blocking send
+  kRecv,       // blocking receive
+  kIsend,      // non-blocking send (completion at matching kWait)
+  kIrecv,      // non-blocking receive
+  kWait,       // wait on request `req`
+  kAllreduce,  // global reduction (synchronising collective)
+  kBarrier,    // global barrier
+};
+
+constexpr const char* mpi_op_name(MpiOp op) {
+  switch (op) {
+    case MpiOp::kSend: return "Send";
+    case MpiOp::kRecv: return "Recv";
+    case MpiOp::kIsend: return "Isend";
+    case MpiOp::kIrecv: return "Irecv";
+    case MpiOp::kWait: return "Wait";
+    case MpiOp::kAllreduce: return "Allreduce";
+    case MpiOp::kBarrier: return "Barrier";
+  }
+  return "?";
+}
+
+/// One event in a rank's burst trace.
+struct BurstEvent {
+  enum class Kind : std::uint8_t { kCompute, kMpi } kind = Kind::kCompute;
+
+  // kCompute fields:
+  double seconds = 0.0;  // reference-machine duration of the burst
+  int region_id = 0;     // which compute region this burst belongs to
+
+  // kMpi fields:
+  MpiOp op = MpiOp::kSend;
+  int peer = -1;           // partner rank (point-to-point ops)
+  std::uint64_t bytes = 0; // message payload
+  int req = -1;            // request id linking Isend/Irecv to Wait
+
+  static BurstEvent compute(double seconds, int region_id) {
+    BurstEvent e;
+    e.kind = Kind::kCompute;
+    e.seconds = seconds;
+    e.region_id = region_id;
+    return e;
+  }
+  static BurstEvent mpi(MpiOp op, int peer, std::uint64_t bytes,
+                        int req = -1) {
+    BurstEvent e;
+    e.kind = Kind::kMpi;
+    e.op = op;
+    e.peer = peer;
+    e.bytes = bytes;
+    e.req = req;
+    return e;
+  }
+};
+
+/// All events of one rank, in program order.
+struct RankTrace {
+  int rank = 0;
+  std::vector<BurstEvent> events;
+};
+
+/// Whole-application burst trace: one RankTrace per MPI rank.
+struct AppTrace {
+  std::string app_name;
+  std::vector<RankTrace> ranks;
+
+  int num_ranks() const { return static_cast<int>(ranks.size()); }
+};
+
+}  // namespace musa::trace

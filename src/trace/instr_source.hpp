@@ -1,0 +1,46 @@
+// Instruction-stream abstraction.
+//
+// MUSA decouples trace *producers* (a DynamoRIO tracer in the paper, the
+// synthetic kernel models here) from trace *consumers* (the fusion pass and
+// the core timing model) behind this interface. Streams are pull-based and
+// restartable, so one trace drives all 864 architectural configurations —
+// the property the methodology relies on to amortise tracing cost.
+#pragma once
+
+#include <vector>
+
+#include "isa/instr.hpp"
+
+namespace musa::trace {
+
+class InstrSource {
+ public:
+  virtual ~InstrSource() = default;
+
+  /// Produces the next dynamic instruction; returns false at end of stream.
+  virtual bool next(isa::Instr& out) = 0;
+
+  /// Rewinds to the beginning of the stream (must replay identically).
+  virtual void reset() = 0;
+};
+
+/// In-memory stream over a fixed instruction vector (tests, small traces).
+class VectorSource final : public InstrSource {
+ public:
+  explicit VectorSource(std::vector<isa::Instr> instrs)
+      : instrs_(std::move(instrs)) {}
+
+  bool next(isa::Instr& out) override {
+    if (pos_ >= instrs_.size()) return false;
+    out = instrs_[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = 0; }
+
+ private:
+  std::vector<isa::Instr> instrs_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace musa::trace

@@ -1,0 +1,269 @@
+#include "trace/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace musa::trace {
+
+namespace {
+// Register allocation scheme (see isa/instr.hpp: 0..31 int, 32..63 fp).
+constexpr std::uint8_t kIntBase = 0;        // rotating integer temporaries
+constexpr int kIntRot = 8;
+constexpr std::uint8_t kFpLoadBase = 32;    // vector-load destinations
+constexpr std::uint8_t kFpTmpBase = 44;     // vector arithmetic temporaries
+constexpr std::uint8_t kFpAccBase = 52;     // accumulator chains (ILP knob)
+constexpr std::uint8_t kFpCoeff = 62;       // loop-invariant coefficient
+constexpr std::uint8_t kChainRegBase = 16;  // per-stream address-chain regs
+constexpr std::uint64_t kVecBase = 1ull << 40;   // vector-stream address space
+constexpr std::uint64_t kStreamSpacing = 1ull << 32;
+}  // namespace
+
+KernelSource::KernelSource(KernelProfile profile, std::uint64_t budget,
+                           std::uint64_t seed)
+    : profile_(std::move(profile)), budget_(budget), seed_(seed), rng_(seed) {
+  MUSA_CHECK_MSG(profile_.instrs_per_outer() > 0,
+                 "kernel profile generates no instructions");
+  MUSA_CHECK_MSG(profile_.ilp_chains >= 1 && profile_.ilp_chains <= 8,
+                 "ilp_chains must be in [1,8]");
+  double total_share = 0.0;
+  for (const auto& s : profile_.streams) {
+    MUSA_CHECK_MSG(s.ws_bytes >= 64, "stream working set below one line");
+    total_share += s.share;
+  }
+  if (!profile_.streams.empty())
+    MUSA_CHECK_MSG(total_share > 0.0, "stream shares sum to zero");
+  reset();
+}
+
+void KernelSource::reset() {
+  rng_ = musa::Rng(seed_);
+  buffer_.clear();
+  buf_pos_ = 0;
+  emitted_ = 0;
+  vec_cursor_ = 0;
+  chain_rr_ = 0;
+  cursors_.assign(profile_.streams.size(), 0);
+  bases_.resize(profile_.streams.size());
+  for (std::size_t i = 0; i < bases_.size(); ++i)
+    bases_[i] = (i + 1) * kStreamSpacing + profile_.address_offset;
+}
+
+bool KernelSource::next(isa::Instr& out) {
+  if (buf_pos_ >= buffer_.size()) {
+    if (emitted_ >= budget_) return false;
+    refill();
+    if (buffer_.empty()) return false;
+  }
+  out = buffer_[buf_pos_++];
+  ++emitted_;
+  return true;
+}
+
+std::uint64_t KernelSource::stream_addr(std::size_t stream_idx,
+                                        bool& /*is_write*/) {
+  const StreamDesc& s = profile_.streams[stream_idx];
+  std::uint64_t offset;
+  if (s.stride == 0) {
+    // Irregular access: uniform within the working set, 8-byte aligned.
+    offset = rng_.next_below(s.ws_bytes / 8) * 8;
+  } else {
+    offset = cursors_[stream_idx] % s.ws_bytes;
+    cursors_[stream_idx] += static_cast<std::uint64_t>(s.stride);
+  }
+  return bases_[stream_idx] + offset;
+}
+
+void KernelSource::refill() {
+  buffer_.clear();
+  buf_pos_ = 0;
+
+  const VecBody& vb = profile_.vec_body;
+  const ScalarTail& st = profile_.scalar_tail;
+
+  // --- Vectorisable inner loop -------------------------------------------
+  // Static ids 1..vb.total() are the SIMD instructions of the loop body;
+  // every inner iteration emits one dynamic lane of each.
+  if (profile_.vec_trip > 0 && vb.total() > 0) {
+    const int mem_slots = std::max(1, vb.loads + vb.stores);
+    const std::uint64_t slot_ws =
+        std::max<std::uint64_t>(64, profile_.vec_ws_bytes / mem_slots);
+    for (int t = 0; t < profile_.vec_trip; ++t) {
+      std::uint32_t sid = 1;
+      int slot = 0;
+      std::uint8_t last_tmp = kFpTmpBase;
+      for (int i = 0; i < vb.loads; ++i, ++slot) {
+        isa::Instr in;
+        in.op = isa::OpClass::kLoad;
+        in.dst = static_cast<std::uint8_t>(kFpLoadBase + (i % 12));
+        in.src1 = static_cast<std::uint8_t>(kIntBase + (slot % kIntRot));
+        // The base wraps per outer iteration; lanes extend contiguously so
+        // a fused group's addresses are exactly base + lane*stride.
+        const std::uint64_t lane_off =
+            vec_cursor_ % slot_ws +
+            static_cast<std::uint64_t>(t) *
+                static_cast<std::uint64_t>(profile_.vec_stride);
+        in.addr = kVecBase + profile_.address_offset +
+                  static_cast<std::uint64_t>(slot) * slot_ws * 4 + lane_off;
+        in.size = 8;
+        in.static_id = sid++;
+        in.lane = static_cast<std::uint16_t>(t);
+        in.vectorizable = 1;
+        buffer_.push_back(in);
+      }
+      for (int i = 0; i < vb.fp_mul; ++i) {
+        isa::Instr in;
+        in.op = isa::OpClass::kFpMul;
+        in.src1 = static_cast<std::uint8_t>(kFpLoadBase +
+                                            (i % std::max(1, vb.loads)));
+        in.src2 = kFpCoeff;
+        last_tmp = static_cast<std::uint8_t>(kFpTmpBase + (i % 8));
+        in.dst = last_tmp;
+        in.static_id = sid++;
+        in.lane = static_cast<std::uint16_t>(t);
+        in.vectorizable = 1;
+        buffer_.push_back(in);
+      }
+      for (int i = 0; i < vb.fp_add; ++i) {
+        isa::Instr in;
+        in.op = isa::OpClass::kFpAdd;
+        // Accumulator chains: rotating over ilp_chains registers controls
+        // the length of loop-carried dependence chains (the ILP knob).
+        const std::uint8_t acc = static_cast<std::uint8_t>(
+            kFpAccBase + (chain_rr_ % profile_.ilp_chains));
+        ++chain_rr_;
+        in.src1 = last_tmp;
+        in.src2 = acc;
+        in.dst = acc;
+        in.static_id = sid++;
+        in.lane = static_cast<std::uint16_t>(t);
+        in.vectorizable = 1;
+        buffer_.push_back(in);
+      }
+      for (int i = 0; i < vb.stores; ++i, ++slot) {
+        isa::Instr in;
+        in.op = isa::OpClass::kStore;
+        in.src1 = last_tmp;
+        in.src2 = static_cast<std::uint8_t>(kIntBase + (slot % kIntRot));
+        // The base wraps per outer iteration; lanes extend contiguously so
+        // a fused group's addresses are exactly base + lane*stride.
+        const std::uint64_t lane_off =
+            vec_cursor_ % slot_ws +
+            static_cast<std::uint64_t>(t) *
+                static_cast<std::uint64_t>(profile_.vec_stride);
+        in.addr = kVecBase + profile_.address_offset +
+                  static_cast<std::uint64_t>(slot) * slot_ws * 4 + lane_off;
+        in.size = 8;
+        in.static_id = sid++;
+        in.lane = static_cast<std::uint16_t>(t);
+        in.vectorizable = 1;
+        buffer_.push_back(in);
+      }
+    }
+    vec_cursor_ += static_cast<std::uint64_t>(profile_.vec_trip) *
+                   static_cast<std::uint64_t>(profile_.vec_stride);
+  }
+
+  // --- Scalar tail ---------------------------------------------------------
+  // Interleave the remaining classes round-robin so the stream resembles a
+  // compiled basic block rather than class-sorted batches.
+  int rem[8] = {st.int_alu, st.int_mul, st.fp_add, st.fp_mul,
+                st.fp_div,  st.loads,   st.stores, st.branches};
+  const isa::OpClass cls[8] = {
+      isa::OpClass::kIntAlu, isa::OpClass::kIntMul, isa::OpClass::kFpAdd,
+      isa::OpClass::kFpMul,  isa::OpClass::kFpDiv,  isa::OpClass::kLoad,
+      isa::OpClass::kStore,  isa::OpClass::kBranch};
+  int int_rr = 0;
+  bool remaining = true;
+  while (remaining) {
+    remaining = false;
+    for (int c = 0; c < 8; ++c) {
+      if (rem[c] == 0) continue;
+      --rem[c];
+      remaining = remaining || rem[c] > 0;
+      isa::Instr in;
+      in.op = cls[c];
+      switch (in.op) {
+        case isa::OpClass::kIntAlu:
+        case isa::OpClass::kIntMul: {
+          const std::uint8_t dst =
+              static_cast<std::uint8_t>(kIntBase + (int_rr % kIntRot));
+          in.dst = dst;
+          // Half the integer ops chain on the previous result.
+          in.src1 = rng_.bernoulli(0.5)
+                        ? static_cast<std::uint8_t>(
+                              kIntBase + ((int_rr + kIntRot - 1) % kIntRot))
+                        : static_cast<std::uint8_t>(kIntBase);
+          ++int_rr;
+          break;
+        }
+        case isa::OpClass::kFpAdd:
+        case isa::OpClass::kFpMul:
+        case isa::OpClass::kFpDiv: {
+          const std::uint8_t acc = static_cast<std::uint8_t>(
+              kFpAccBase + (chain_rr_ % profile_.ilp_chains));
+          ++chain_rr_;
+          in.src1 = acc;
+          // A profile-controlled fraction of the arithmetic consumes
+          // recently loaded values, so memory latency sits on real
+          // dependence chains (cache sensitivity vs latency tolerance).
+          in.src2 = rng_.bernoulli(profile_.load_use_prob)
+                        ? static_cast<std::uint8_t>(kFpLoadBase +
+                                                    (int_rr % 12))
+                        : kFpCoeff;
+          in.dst = acc;
+          break;
+        }
+        case isa::OpClass::kLoad:
+        case isa::OpClass::kStore: {
+          bool chain = false;
+          std::size_t idx = 0;
+          if (profile_.streams.empty()) {
+            in.addr = kVecBase + profile_.address_offset +
+                      (rng_.next_below(1 << 20)) * 8;
+          } else {
+            // Weighted stream selection by share.
+            const double pick = rng_.next_double();
+            double total = 0.0;
+            for (const auto& s : profile_.streams) total += s.share;
+            double acc_share = 0.0;
+            for (std::size_t i = 0; i < profile_.streams.size(); ++i) {
+              acc_share += profile_.streams[i].share / total;
+              idx = i;
+              if (pick < acc_share) break;
+            }
+            bool unused = false;
+            in.addr = stream_addr(idx, unused);
+            chain = profile_.streams[idx].dependent;
+          }
+          in.size = 8;
+          if (in.op == isa::OpClass::kLoad) {
+            if (chain) {
+              // Address-dependence chain: this load's result is the next
+              // chained load's address base (indirection).
+              const auto reg =
+                  static_cast<std::uint8_t>(kChainRegBase + (idx % 8));
+              in.dst = reg;
+              in.src1 = reg;
+            } else {
+              in.dst = static_cast<std::uint8_t>(kFpLoadBase + (int_rr % 12));
+              in.src1 =
+                  static_cast<std::uint8_t>(kIntBase + (int_rr % kIntRot));
+            }
+          } else {
+            in.src1 = static_cast<std::uint8_t>(kFpLoadBase + (int_rr % 12));
+            in.src2 = static_cast<std::uint8_t>(kIntBase + (int_rr % kIntRot));
+          }
+          ++int_rr;
+          break;
+        }
+        case isa::OpClass::kBranch:
+          in.src1 = static_cast<std::uint8_t>(kIntBase);
+          break;
+      }
+      buffer_.push_back(in);
+    }
+  }
+}
+
+}  // namespace musa::trace

@@ -1,0 +1,125 @@
+// Synthetic kernel traces.
+//
+// The paper traces real applications (HYDRO, SP-MZ, BT-MZ, Specfem3D,
+// LULESH) with DynamoRIO. This environment cannot run those MPI codes, so
+// each application's computational kernels are replaced by a *parameterised
+// trace generator* (DESIGN.md §2) producing the same record format a DBI
+// tracer emits. A kernel is modelled as a loop nest:
+//
+//   for each outer iteration:
+//     for t in 0..vec_trip-1:          # vectorisable inner loop
+//       <vec_body>  (static SIMD instructions, lane marker = t)
+//     <scalar_tail> (address arithmetic, reductions, control flow)
+//
+// Memory instructions draw addresses from a set of weighted *streams*
+// (working-set size, stride, write ratio) — working sets relative to cache
+// capacities produce the application's published MPKI profile; stride-0
+// streams model irregular (pointer-chasing) access. Instruction-level
+// parallelism is controlled by the number of independent accumulator chains.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "isa/instr.hpp"
+#include "trace/instr_source.hpp"
+
+namespace musa::trace {
+
+/// One memory access stream of a kernel.
+struct StreamDesc {
+  double share = 1.0;        // fraction of scalar-tail memory ops using it
+  std::uint64_t ws_bytes = 1 * 1024 * 1024;  // working-set size
+  std::int64_t stride = 8;   // bytes between consecutive accesses; 0 = random
+  /// Loads of this stream form an address-dependence chain (each load's
+  /// result feeds the next load's address): their miss latency serialises
+  /// regardless of OoO depth — indirection through connectivity/slope
+  /// tables. Drives cache-size sensitivity without OoO sensitivity.
+  bool dependent = false;
+};
+
+/// Composition of the vectorisable inner-loop body (per inner iteration).
+struct VecBody {
+  int loads = 0;
+  int fp_add = 0;
+  int fp_mul = 0;
+  int stores = 0;
+
+  int total() const { return loads + fp_add + fp_mul + stores; }
+};
+
+/// Composition of the scalar tail (per outer iteration).
+struct ScalarTail {
+  int int_alu = 0;
+  int int_mul = 0;
+  int fp_add = 0;
+  int fp_mul = 0;
+  int fp_div = 0;
+  int loads = 0;
+  int stores = 0;
+  int branches = 0;
+
+  int total() const {
+    return int_alu + int_mul + fp_add + fp_mul + fp_div + loads + stores +
+           branches;
+  }
+};
+
+/// Full statistical description of one computational kernel.
+struct KernelProfile {
+  std::string name;
+  VecBody vec_body;
+  int vec_trip = 0;       // inner-loop trip count; 0 = no vectorisable loop
+  ScalarTail scalar_tail;
+  int ilp_chains = 4;     // independent dependence chains (1 = fully serial)
+  double load_use_prob = 0.5;  // fraction of arithmetic consuming loads
+  std::vector<StreamDesc> streams;   // scalar-tail / irregular streams
+  std::int64_t vec_stride = 8;       // per-lane stride of vector-loop streams
+  std::uint64_t vec_ws_bytes = 4 * 1024 * 1024;  // vector-loop working set
+  /// Added to every generated address: distinct ranks/threads work on
+  /// distinct slices of the global arrays (multi-core simulation).
+  std::uint64_t address_offset = 0;
+
+  /// Instructions generated per outer iteration.
+  int instrs_per_outer() const {
+    return vec_body.total() * (vec_trip > 0 ? vec_trip : 0) +
+           scalar_tail.total();
+  }
+};
+
+/// Deterministic instruction stream for a kernel profile.
+///
+/// `budget` bounds the stream length (rounded up to whole outer iterations).
+/// Identical (profile, seed) pairs replay identical streams across reset().
+class KernelSource final : public InstrSource {
+ public:
+  KernelSource(KernelProfile profile, std::uint64_t budget,
+               std::uint64_t seed = 0x5151'dead'beef'0001ull);
+
+  bool next(isa::Instr& out) override;
+  void reset() override;
+
+  const KernelProfile& profile() const { return profile_; }
+
+ private:
+  void refill();  // generates one outer iteration into buffer_
+  std::uint64_t stream_addr(std::size_t stream_idx, bool& is_write);
+
+  KernelProfile profile_;
+  std::uint64_t budget_;
+  std::uint64_t seed_;
+
+  musa::Rng rng_;
+  std::vector<isa::Instr> buffer_;
+  std::size_t buf_pos_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::vector<std::uint64_t> cursors_;       // per-stream walking cursor
+  std::vector<std::uint64_t> bases_;         // per-stream base address
+  std::uint64_t vec_cursor_ = 0;
+  std::uint32_t next_static_id_ = 1;
+  int chain_rr_ = 0;  // round-robin over accumulator chains
+};
+
+}  // namespace musa::trace

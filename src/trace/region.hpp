@@ -1,0 +1,37 @@
+// Runtime-system events of a compute region — the task-level trace.
+//
+// MUSA records runtime-system events (task creation, dependencies, critical
+// sections) in the coarse trace, and replays them through a simulated
+// OpenMP/OmpSs runtime to model any number of cores per node (paper §II).
+// A Region is that record: the task instances of one representative compute
+// region of one rank, with their types, relative work and dependencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace musa::trace {
+
+/// One schedulable task instance (an OpenMP task or a parallel-for chunk).
+struct TaskInstance {
+  int type = 0;        // kernel id: selects the detailed timing of this task
+  double work = 1.0;   // relative work (scales the kernel's base duration)
+  std::vector<std::int32_t> deps;  // indices of tasks that must finish first
+  bool critical = false;  // executes under a global lock (omp critical)
+};
+
+/// A compute region: the unit the detailed simulation samples.
+struct Region {
+  std::string name;
+  std::vector<TaskInstance> tasks;
+
+  /// Sum of task work, used for ideal-time normalisation.
+  double total_work() const {
+    double acc = 0.0;
+    for (const auto& t : tasks) acc += t.work;
+    return acc;
+  }
+};
+
+}  // namespace musa::trace

@@ -1,0 +1,244 @@
+#include "trace/trace_io.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+static_assert(std::endian::native == std::endian::little,
+              "trace files are little-endian; add byte swapping for this host");
+
+namespace musa::trace {
+
+namespace {
+
+constexpr std::uint32_t kBurstMagic = 0x4D555342;  // "MUSB"
+constexpr std::uint32_t kRegionMagic = 0x4D555352;  // "MUSR"
+constexpr std::uint32_t kInstrMagic = 0x4D555349;  // "MUSI"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  MUSA_CHECK_MSG(in.good(), "trace file truncated");
+  return value;
+}
+
+void put_string(std::ostream& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string get_string(std::istream& in) {
+  const auto n = get<std::uint32_t>(in);
+  MUSA_CHECK_MSG(n < (1u << 20), "implausible string length in trace file");
+  std::string s(n, '\0');
+  in.read(s.data(), n);
+  MUSA_CHECK_MSG(in.good(), "trace file truncated");
+  return s;
+}
+
+void check_header(std::istream& in, std::uint32_t magic, const char* what) {
+  MUSA_CHECK_MSG(get<std::uint32_t>(in) == magic,
+                 std::string("not a ") + what + " trace file");
+  MUSA_CHECK_MSG(get<std::uint32_t>(in) == kVersion,
+                 std::string("unsupported ") + what + " trace version");
+}
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  MUSA_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  return out;
+}
+
+std::ifstream open_in(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  MUSA_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  return in;
+}
+
+}  // namespace
+
+// ---- Burst traces ---------------------------------------------------------
+
+void write_app_trace(const AppTrace& trace, std::ostream& out) {
+  put(out, kBurstMagic);
+  put(out, kVersion);
+  put_string(out, trace.app_name);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(trace.ranks.size()));
+  for (const auto& rank : trace.ranks) {
+    put<std::int32_t>(out, rank.rank);
+    put<std::uint64_t>(out, rank.events.size());
+    for (const auto& e : rank.events) {
+      put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+      if (e.kind == BurstEvent::Kind::kCompute) {
+        put(out, e.seconds);
+        put<std::int32_t>(out, e.region_id);
+      } else {
+        put<std::uint8_t>(out, static_cast<std::uint8_t>(e.op));
+        put<std::int32_t>(out, e.peer);
+        put<std::uint64_t>(out, e.bytes);
+        put<std::int32_t>(out, e.req);
+      }
+    }
+  }
+}
+
+AppTrace read_app_trace(std::istream& in) {
+  check_header(in, kBurstMagic, "burst");
+  AppTrace trace;
+  trace.app_name = get_string(in);
+  const auto ranks = get<std::uint32_t>(in);
+  MUSA_CHECK_MSG(ranks <= 1u << 20, "implausible rank count in trace");
+  trace.ranks.resize(ranks);
+  for (auto& rank : trace.ranks) {
+    rank.rank = get<std::int32_t>(in);
+    const auto n = get<std::uint64_t>(in);
+    MUSA_CHECK_MSG(n <= 1ull << 32, "implausible event count in trace");
+    rank.events.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const auto kind = static_cast<BurstEvent::Kind>(get<std::uint8_t>(in));
+      if (kind == BurstEvent::Kind::kCompute) {
+        const double seconds = get<double>(in);
+        const auto region = get<std::int32_t>(in);
+        rank.events.push_back(BurstEvent::compute(seconds, region));
+      } else {
+        const auto op = static_cast<MpiOp>(get<std::uint8_t>(in));
+        const auto peer = get<std::int32_t>(in);
+        const auto bytes = get<std::uint64_t>(in);
+        const auto req = get<std::int32_t>(in);
+        rank.events.push_back(BurstEvent::mpi(op, peer, bytes, req));
+      }
+    }
+  }
+  return trace;
+}
+
+void save_app_trace(const AppTrace& trace, const std::string& path) {
+  auto out = open_out(path);
+  write_app_trace(trace, out);
+}
+
+AppTrace load_app_trace(const std::string& path) {
+  auto in = open_in(path);
+  return read_app_trace(in);
+}
+
+// ---- Regions --------------------------------------------------------------
+
+void write_region(const Region& region, std::ostream& out) {
+  put(out, kRegionMagic);
+  put(out, kVersion);
+  put_string(out, region.name);
+  put<std::uint64_t>(out, region.tasks.size());
+  for (const auto& t : region.tasks) {
+    put<std::int32_t>(out, t.type);
+    put(out, t.work);
+    put<std::uint8_t>(out, t.critical ? 1 : 0);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(t.deps.size()));
+    for (auto d : t.deps) put<std::int32_t>(out, d);
+  }
+}
+
+Region read_region(std::istream& in) {
+  check_header(in, kRegionMagic, "region");
+  Region region;
+  region.name = get_string(in);
+  const auto n = get<std::uint64_t>(in);
+  MUSA_CHECK_MSG(n <= 1ull << 28, "implausible task count in region file");
+  region.tasks.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TaskInstance t;
+    t.type = get<std::int32_t>(in);
+    t.work = get<double>(in);
+    t.critical = get<std::uint8_t>(in) != 0;
+    const auto deps = get<std::uint32_t>(in);
+    MUSA_CHECK_MSG(deps <= n, "implausible dependency count");
+    t.deps.reserve(deps);
+    for (std::uint32_t d = 0; d < deps; ++d)
+      t.deps.push_back(get<std::int32_t>(in));
+    region.tasks.push_back(std::move(t));
+  }
+  return region;
+}
+
+void save_region(const Region& region, const std::string& path) {
+  auto out = open_out(path);
+  write_region(region, out);
+}
+
+Region load_region(const std::string& path) {
+  auto in = open_in(path);
+  return read_region(in);
+}
+
+// ---- Instruction streams --------------------------------------------------
+
+std::uint64_t spool_instr_trace(InstrSource& source, const std::string& path,
+                                std::uint64_t limit) {
+  auto out = open_out(path);
+  put(out, kInstrMagic);
+  put(out, kVersion);
+  const auto count_pos = out.tellp();
+  put<std::uint64_t>(out, 0);  // patched below
+  isa::Instr in;
+  std::uint64_t n = 0;
+  while ((limit == 0 || n < limit) && source.next(in)) {
+    out.write(reinterpret_cast<const char*>(&in), sizeof in);
+    ++n;
+  }
+  out.seekp(count_pos);
+  put<std::uint64_t>(out, n);
+  return n;
+}
+
+FileInstrSource::FileInstrSource(const std::string& path) {
+  auto in = open_in(path);
+  check_header(in, kInstrMagic, "instruction");
+  const auto n = get<std::uint64_t>(in);
+  MUSA_CHECK_MSG(n <= 1ull << 32, "implausible instruction count");
+  instrs_.resize(n);
+  in.read(reinterpret_cast<char*>(instrs_.data()),
+          static_cast<std::streamsize>(n * sizeof(isa::Instr)));
+  MUSA_CHECK_MSG(in.good(), "instruction trace truncated");
+}
+
+bool FileInstrSource::next(isa::Instr& out) {
+  if (pos_ >= instrs_.size()) return false;
+  out = instrs_[pos_++];
+  return true;
+}
+
+std::string describe_trace_file(const std::string& path) {
+  auto in = open_in(path);
+  const auto magic = get<std::uint32_t>(in);
+  const auto version = get<std::uint32_t>(in);
+  std::ostringstream out;
+  if (magic == kBurstMagic) {
+    const std::string app = get_string(in);
+    const auto ranks = get<std::uint32_t>(in);
+    out << "burst trace v" << version << ": app=" << app
+        << " ranks=" << ranks;
+  } else if (magic == kRegionMagic) {
+    const std::string name = get_string(in);
+    const auto tasks = get<std::uint64_t>(in);
+    out << "region v" << version << ": name=" << name << " tasks=" << tasks;
+  } else if (magic == kInstrMagic) {
+    const auto n = get<std::uint64_t>(in);
+    out << "instruction trace v" << version << ": records=" << n << " ("
+        << n * sizeof(isa::Instr) << " bytes payload)";
+  } else {
+    throw SimError("unrecognised trace file: " + path);
+  }
+  return out.str();
+}
+
+}  // namespace musa::trace

@@ -1,0 +1,72 @@
+// Trace serialisation.
+//
+// MUSA's central economy is *trace once, simulate everywhere*: one set of
+// traces drives every architectural configuration (paper §II). This module
+// provides the on-disk formats that make traces durable artifacts:
+//
+//  * burst traces (per-rank MPI/compute event streams)  — versioned binary,
+//  * regions (task graphs with dependencies)            — versioned binary,
+//  * instruction streams — a compact binary record format any InstrSource
+//    can be spooled into and replayed from (`FileInstrSource`), exactly the
+//    role DynamoRIO trace files play for the original toolchain.
+//
+// All formats carry a magic + version header and fail loudly (SimError) on
+// mismatch or truncation. Integers are stored little-endian (asserted at
+// compile time for the host).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "trace/burst.hpp"
+#include "trace/instr_source.hpp"
+#include "trace/region.hpp"
+
+namespace musa::trace {
+
+// ---- Burst traces ---------------------------------------------------------
+
+/// Writes an application burst trace; overwrites `path`.
+void save_app_trace(const AppTrace& trace, const std::string& path);
+AppTrace load_app_trace(const std::string& path);
+
+void write_app_trace(const AppTrace& trace, std::ostream& out);
+AppTrace read_app_trace(std::istream& in);
+
+// ---- Regions --------------------------------------------------------------
+
+void save_region(const Region& region, const std::string& path);
+Region load_region(const std::string& path);
+
+void write_region(const Region& region, std::ostream& out);
+Region read_region(std::istream& in);
+
+// ---- Instruction streams --------------------------------------------------
+
+/// Spools a source to a binary instruction trace file; returns the number
+/// of records written. `limit` bounds the trace length (0 = drain).
+std::uint64_t spool_instr_trace(InstrSource& source, const std::string& path,
+                                std::uint64_t limit = 0);
+
+/// Replays a binary instruction trace file. The whole trace is mapped into
+/// memory on open (traces used here are sample regions, not full runs).
+class FileInstrSource final : public InstrSource {
+ public:
+  explicit FileInstrSource(const std::string& path);
+
+  bool next(isa::Instr& out) override;
+  void reset() override { pos_ = 0; }
+
+  std::size_t size() const { return instrs_.size(); }
+
+ private:
+  std::vector<isa::Instr> instrs_;
+  std::size_t pos_ = 0;
+};
+
+/// Human-readable one-line summary of a trace file (either format),
+/// e.g. for a `trace-info` tool: type, version, ranks/tasks/instrs.
+std::string describe_trace_file(const std::string& path);
+
+}  // namespace musa::trace

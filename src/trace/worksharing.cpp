@@ -1,0 +1,138 @@
+#include "trace/worksharing.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace musa::trace {
+
+namespace {
+
+double chunk_work(std::int64_t begin, std::int64_t end,
+                  const IterationCost& cost) {
+  if (!cost) return static_cast<double>(end - begin);
+  double acc = 0.0;
+  for (std::int64_t i = begin; i < end; ++i) acc += cost(i);
+  return acc;
+}
+
+void push_chunk(Region& region, std::int64_t begin, std::int64_t end,
+                const IterationCost& cost) {
+  TaskInstance t;
+  t.type = 0;
+  t.work = chunk_work(begin, end, cost);
+  region.tasks.push_back(std::move(t));
+}
+
+}  // namespace
+
+Region make_parallel_for(std::int64_t iterations, int threads,
+                         OmpSchedule schedule, std::int64_t chunk_size,
+                         const IterationCost& cost) {
+  MUSA_CHECK_MSG(iterations > 0, "parallel for needs iterations");
+  MUSA_CHECK_MSG(threads > 0, "parallel for needs a team");
+  MUSA_CHECK_MSG(chunk_size >= 0, "negative chunk size");
+
+  Region region;
+  region.name = std::string("omp_for_") + omp_schedule_name(schedule);
+
+  switch (schedule) {
+    case OmpSchedule::kStatic: {
+      if (chunk_size == 0) {
+        // Default static: one contiguous block per thread slot.
+        const std::int64_t base = iterations / threads;
+        const std::int64_t extra = iterations % threads;
+        std::int64_t begin = 0;
+        for (int t = 0; t < threads && begin < iterations; ++t) {
+          const std::int64_t len = base + (t < extra ? 1 : 0);
+          if (len == 0) continue;
+          push_chunk(region, begin, begin + len, cost);
+          begin += len;
+        }
+      } else {
+        // static,chunk: round-robin fixed chunks. Chunks assigned to the
+        // same thread are serialised with dependencies, matching OpenMP's
+        // deterministic static mapping.
+        std::vector<std::int32_t> last_of_thread(threads, -1);
+        std::int64_t begin = 0;
+        int slot = 0;
+        while (begin < iterations) {
+          const std::int64_t end = std::min(iterations, begin + chunk_size);
+          push_chunk(region, begin, end, cost);
+          const auto idx = static_cast<std::int32_t>(region.tasks.size() - 1);
+          if (last_of_thread[slot] >= 0)
+            region.tasks[idx].deps.push_back(last_of_thread[slot]);
+          last_of_thread[slot] = idx;
+          slot = (slot + 1) % threads;
+          begin = end;
+        }
+      }
+      break;
+    }
+    case OmpSchedule::kDynamic: {
+      const std::int64_t step = chunk_size > 0 ? chunk_size : 1;
+      for (std::int64_t begin = 0; begin < iterations; begin += step)
+        push_chunk(region, begin, std::min(iterations, begin + step), cost);
+      break;
+    }
+    case OmpSchedule::kGuided: {
+      const std::int64_t floor_size = std::max<std::int64_t>(
+          1, chunk_size > 0 ? chunk_size : 1);
+      std::int64_t remaining = iterations;
+      std::int64_t begin = 0;
+      while (remaining > 0) {
+        const std::int64_t len = std::max(
+            floor_size, remaining / std::max(1, threads));
+        const std::int64_t take = std::min(len, remaining);
+        push_chunk(region, begin, begin + take, cost);
+        begin += take;
+        remaining -= take;
+      }
+      break;
+    }
+  }
+  return region;
+}
+
+std::int32_t add_critical(Region& region, double work) {
+  TaskInstance t;
+  t.type = 0;
+  t.work = work;
+  t.critical = true;
+  region.tasks.push_back(std::move(t));
+  return static_cast<std::int32_t>(region.tasks.size() - 1);
+}
+
+Region make_task_tree(int leaves, double leaf_work) {
+  MUSA_CHECK_MSG(leaves >= 1, "task tree needs leaves");
+  Region region;
+  region.name = "taskloop_tree";
+
+  // Recursive binary split; each internal node is a (cheap) spawn task the
+  // children depend on. Returns the indices of the subtree's leaf tasks.
+  const std::function<std::vector<std::int32_t>(int, std::int32_t)> build =
+      [&](int n, std::int32_t parent) -> std::vector<std::int32_t> {
+    if (n == 1) {
+      TaskInstance leaf;
+      leaf.type = 0;
+      leaf.work = leaf_work;
+      if (parent >= 0) leaf.deps.push_back(parent);
+      region.tasks.push_back(std::move(leaf));
+      return {static_cast<std::int32_t>(region.tasks.size() - 1)};
+    }
+    TaskInstance split;
+    split.type = 0;
+    split.work = leaf_work / 100.0;  // spawn overhead
+    if (parent >= 0) split.deps.push_back(parent);
+    region.tasks.push_back(std::move(split));
+    const auto self = static_cast<std::int32_t>(region.tasks.size() - 1);
+    auto left = build(n / 2, self);
+    auto right = build(n - n / 2, self);
+    left.insert(left.end(), right.begin(), right.end());
+    return left;
+  };
+  build(leaves, -1);
+  return region;
+}
+
+}  // namespace musa::trace

@@ -1,0 +1,62 @@
+// OpenMP worksharing-construct builders (paper §III: "we extend the tracing
+// infrastructure to support parallel loops as well as other common
+// directives like omp critical").
+//
+// These helpers turn loop-level worksharing into the Region task graphs the
+// runtime simulator replays: a `#pragma omp parallel for` with a given
+// schedule becomes one task per chunk; `omp critical` sections become
+// critical tasks; taskloop-style recursive decomposition becomes a balanced
+// dependency tree.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "trace/region.hpp"
+
+namespace musa::trace {
+
+enum class OmpSchedule : std::uint8_t {
+  kStatic,   // equal contiguous chunks, one per thread slot
+  kDynamic,  // fixed chunk_size chunks, grabbed on demand
+  kGuided,   // geometrically shrinking chunks (down to chunk_size)
+};
+
+constexpr const char* omp_schedule_name(OmpSchedule s) {
+  switch (s) {
+    case OmpSchedule::kStatic: return "static";
+    case OmpSchedule::kDynamic: return "dynamic";
+    case OmpSchedule::kGuided: return "guided";
+  }
+  return "?";
+}
+
+/// Per-iteration relative cost; index is the loop iteration.
+using IterationCost = std::function<double(std::int64_t)>;
+
+/// Builds the task graph of `#pragma omp parallel for schedule(...)` over
+/// `iterations` loop iterations for a team of `threads`.
+///
+///  * kStatic ignores chunk_size when 0 and divides iterations into
+///    `threads` contiguous blocks (OpenMP default);
+///  * kDynamic produces ceil(iterations / chunk_size) equal-size chunks;
+///  * kGuided produces chunks of remaining/threads, floored at chunk_size.
+///
+/// Each chunk's work is the sum of its iterations' costs (uniform 1.0 when
+/// `cost` is empty). Chunks are independent tasks; the runtime simulator's
+/// dispatch order supplies the on-demand behaviour.
+Region make_parallel_for(std::int64_t iterations, int threads,
+                         OmpSchedule schedule, std::int64_t chunk_size = 0,
+                         const IterationCost& cost = {});
+
+/// Appends a `#pragma omp critical` section of `work` to a region: the new
+/// task is serialised against every other critical task at simulation time.
+/// Returns the new task's index.
+std::int32_t add_critical(Region& region, double work);
+
+/// Builds a taskloop-style balanced binary decomposition: internal tasks
+/// split (negligible work), `leaves` leaf tasks carry the work, and a join
+/// chain mirrors the spawn tree. Exercises dependency-graph scheduling.
+Region make_task_tree(int leaves, double leaf_work = 1.0);
+
+}  // namespace musa::trace

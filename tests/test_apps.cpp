@@ -1,0 +1,252 @@
+// Unit tests for the five application models.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "apps/apps.hpp"
+#include "common/check.hpp"
+
+namespace musa::apps {
+namespace {
+
+TEST(Registry, HasTheFivePaperApps) {
+  const auto& apps = registry();
+  ASSERT_EQ(apps.size(), 5u);
+  EXPECT_EQ(apps[0].name, "hydro");
+  EXPECT_EQ(apps[1].name, "spmz");
+  EXPECT_EQ(apps[2].name, "btmz");
+  EXPECT_EQ(apps[3].name, "spec3d");
+  EXPECT_EQ(apps[4].name, "lulesh");
+}
+
+TEST(Registry, FindAppResolvesAndThrows) {
+  EXPECT_EQ(find_app("lulesh").name, "lulesh");
+  EXPECT_THROW(find_app("hpl"), SimError);
+}
+
+TEST(Characteristics, MatchThePaperNarrative) {
+  // Paper §IV-B/§V-A qualitative properties baked into the models.
+  const AppModel& hydro = find_app("hydro");
+  const AppModel& spmz = find_app("spmz");
+  const AppModel& spec3d = find_app("spec3d");
+  const AppModel& lulesh = find_app("lulesh");
+
+  // Specfem3D: far too few tasks to fill a 64-core node (Fig. 3).
+  EXPECT_LT(spec3d.tasks_per_region, 64);
+  // HYDRO: abundant fine-grain tasks, the best-scaling code.
+  EXPECT_GT(hydro.tasks_per_region, 500);
+  // LULESH: short vector loops (no SIMD gain); strong thread imbalance.
+  EXPECT_LE(lulesh.kernel.vec_trip, 4);
+  EXPECT_GT(lulesh.task_imbalance, 0.2);
+  // SP-MZ: the long vectorisable loops that keep gaining to 2048-bit.
+  EXPECT_GE(spmz.kernel.vec_trip, 32);
+  // LULESH synchronises globally every step (Fig. 4 barrier waits).
+  EXPECT_TRUE(lulesh.barrier);
+  EXPECT_TRUE(lulesh.allreduce);
+  // Spec3D: serial dependence chains (latency-bound, OoO-sensitive).
+  EXPECT_EQ(spec3d.kernel.ilp_chains, 1);
+}
+
+TEST(Region, TaskCountAndWorkArePositive) {
+  for (const auto& app : registry()) {
+    const trace::Region r = make_region(app);
+    EXPECT_GE(static_cast<int>(r.tasks.size()), app.tasks_per_region)
+        << app.name;
+    for (const auto& t : r.tasks) {
+      EXPECT_GT(t.work, 0.0);
+      EXPECT_EQ(t.type, 0);
+    }
+    EXPECT_GT(r.total_work(), 0.0);
+  }
+}
+
+TEST(Region, DependenciesPointBackwards) {
+  for (const auto& app : registry()) {
+    const trace::Region r = make_region(app);
+    for (std::size_t i = 0; i < r.tasks.size(); ++i)
+      for (auto d : r.tasks[i].deps) {
+        EXPECT_GE(d, 0);
+        EXPECT_LT(static_cast<std::size_t>(d), i);
+      }
+  }
+}
+
+TEST(Region, SerialSegmentsCreateGates) {
+  const AppModel& btmz = find_app("btmz");
+  ASSERT_GT(btmz.serial_segments, 0);
+  const trace::Region r = make_region(btmz);
+  // Serial gate tasks depend on an entire chunk.
+  std::size_t max_deps = 0;
+  for (const auto& t : r.tasks) max_deps = std::max(max_deps, t.deps.size());
+  EXPECT_GT(max_deps, 10u);
+}
+
+TEST(Region, DeterministicInSeed) {
+  const AppModel& app = find_app("lulesh");
+  const trace::Region a = make_region(app, 5);
+  const trace::Region b = make_region(app, 5);
+  const trace::Region c = make_region(app, 6);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  bool differs = false;
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.tasks[i].work, b.tasks[i].work);
+    if (i < c.tasks.size() && a.tasks[i].work != c.tasks[i].work)
+      differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(BurstTrace, OneTracePerRank) {
+  const AppModel& app = find_app("spmz");
+  const trace::AppTrace t = make_burst_trace(app, 16);
+  ASSERT_EQ(t.num_ranks(), 16);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(t.ranks[r].rank, r);
+    EXPECT_FALSE(t.ranks[r].events.empty());
+  }
+}
+
+TEST(BurstTrace, ComputeBurstsPerIteration) {
+  const AppModel& app = find_app("hydro");
+  const trace::AppTrace t = make_burst_trace(app, 4);
+  int computes = 0;
+  for (const auto& e : t.ranks[0].events)
+    if (e.kind == trace::BurstEvent::Kind::kCompute) ++computes;
+  EXPECT_EQ(computes, app.iterations);
+}
+
+TEST(BurstTrace, SendsAndRecvsBalancePerRank) {
+  for (const auto& app : registry()) {
+    const trace::AppTrace t = make_burst_trace(app, 8);
+    for (const auto& rank : t.ranks) {
+      std::map<trace::MpiOp, int> counts;
+      for (const auto& e : rank.events)
+        if (e.kind == trace::BurstEvent::Kind::kMpi) ++counts[e.op];
+      EXPECT_EQ(counts[trace::MpiOp::kIsend], counts[trace::MpiOp::kIrecv])
+          << app.name;
+      EXPECT_EQ(counts[trace::MpiOp::kWait],
+                counts[trace::MpiOp::kIsend] + counts[trace::MpiOp::kIrecv])
+          << app.name;
+    }
+  }
+}
+
+TEST(BurstTrace, CollectiveCountsAreUniform) {
+  // Every rank must cross the same number of collectives, in order.
+  for (const auto& app : registry()) {
+    const trace::AppTrace t = make_burst_trace(app, 8);
+    int expected = -1;
+    for (const auto& rank : t.ranks) {
+      int collectives = 0;
+      for (const auto& e : rank.events)
+        if (e.kind == trace::BurstEvent::Kind::kMpi &&
+            (e.op == trace::MpiOp::kAllreduce ||
+             e.op == trace::MpiOp::kBarrier))
+          ++collectives;
+      if (expected < 0) expected = collectives;
+      EXPECT_EQ(collectives, expected) << app.name;
+    }
+  }
+}
+
+TEST(BurstTrace, RankImbalanceProducesSkew) {
+  const AppModel& app = find_app("lulesh");  // rank_imbalance = 0.12
+  const trace::AppTrace t = make_burst_trace(app, 64);
+  double min_burst = 1e30, max_burst = 0.0;
+  for (const auto& rank : t.ranks)
+    for (const auto& e : rank.events)
+      if (e.kind == trace::BurstEvent::Kind::kCompute) {
+        min_burst = std::min(min_burst, e.seconds);
+        max_burst = std::max(max_burst, e.seconds);
+      }
+  EXPECT_GT(max_burst / min_burst, 1.15);
+}
+
+TEST(BurstTrace, SingleRankHasNoMpi) {
+  const AppModel& app = find_app("btmz");
+  const trace::AppTrace t = make_burst_trace(app, 1);
+  for (const auto& e : t.ranks[0].events)
+    EXPECT_EQ(e.kind, trace::BurstEvent::Kind::kCompute);
+}
+
+TEST(KernelProfiles, StreamSharesSumBelowOne) {
+  for (const auto& app : registry()) {
+    double total = 0.0;
+    for (const auto& s : app.kernel.streams) total += s.share;
+    EXPECT_NEAR(total, 1.0, 0.05) << app.name;
+    EXPECT_GT(app.kernel.instrs_per_outer(), 0) << app.name;
+  }
+}
+
+TEST(Phases, PrimaryPhaseMirrorsLegacyFields) {
+  const AppModel& app = find_app("btmz");
+  const auto phases = app.phases();
+  ASSERT_EQ(phases.size(), 1u);
+  EXPECT_EQ(phases[0].tasks_per_region, app.tasks_per_region);
+  EXPECT_DOUBLE_EQ(phases[0].ref_region_seconds, app.ref_region_seconds);
+  EXPECT_EQ(phases[0].kernel.name, app.kernel.name);
+}
+
+AppModel two_phase_app() {
+  AppModel a = find_app("hydro");
+  a.name = "twophase";
+  Phase second;
+  second.name = "solve";
+  second.kernel = find_app("spec3d").kernel;
+  second.task_instrs = 1e6;
+  second.tasks_per_region = 16;
+  second.ref_region_seconds = 4e-3;
+  a.extra_phases.push_back(second);
+  return a;
+}
+
+TEST(Phases, ExtraPhasesAppend) {
+  const AppModel a = two_phase_app();
+  const auto phases = a.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[1].name, "solve");
+  EXPECT_EQ(phases[1].tasks_per_region, 16);
+}
+
+TEST(Phases, BurstTraceTagsRegionIds) {
+  const AppModel a = two_phase_app();
+  const trace::AppTrace t = make_burst_trace(a, 4);
+  int r0 = 0, r1 = 0;
+  for (const auto& e : t.ranks[0].events) {
+    if (e.kind != trace::BurstEvent::Kind::kCompute) continue;
+    if (e.region_id == 0) ++r0;
+    if (e.region_id == 1) ++r1;
+  }
+  EXPECT_EQ(r0, a.iterations);
+  EXPECT_EQ(r1, a.iterations);
+}
+
+TEST(Phases, RegionsDifferPerPhase) {
+  const AppModel a = two_phase_app();
+  const trace::Region main_region = make_region(a.phases()[0], 1);
+  const trace::Region solve_region = make_region(a.phases()[1], 2);
+  EXPECT_GT(main_region.tasks.size(), solve_region.tasks.size());
+}
+
+class AppSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AppSweep, BurstTraceReplayableShape) {
+  const AppModel& app = find_app(GetParam());
+  const trace::AppTrace t = make_burst_trace(app, 32);
+  // Every Isend's peer must Irecv from us symmetric counts (ring).
+  std::vector<int> sends(32, 0), recvs(32, 0);
+  for (const auto& rank : t.ranks)
+    for (const auto& e : rank.events) {
+      if (e.kind != trace::BurstEvent::Kind::kMpi) continue;
+      if (e.op == trace::MpiOp::kIsend) ++sends[e.peer];
+      if (e.op == trace::MpiOp::kIrecv) ++recvs[rank.rank];
+    }
+  for (int r = 0; r < 32; ++r) EXPECT_EQ(sends[r], recvs[r]);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AppSweep,
+                         ::testing::Values("hydro", "spmz", "btmz", "spec3d",
+                                           "lulesh"));
+
+}  // namespace
+}  // namespace musa::apps

@@ -1,0 +1,150 @@
+// Unit tests for the common utilities: RNG determinism, streaming
+// statistics, table/CSV round-trips, and invariant checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+
+namespace musa {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.next_below(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 8000; ++i) ++hits[r.next_below(8)];
+  for (int h : hits) EXPECT_GT(h, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalHasRequestedMoments) {
+  Rng r(13);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.next_normal(10.0, 2.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_NEAR(s.stddev(), stddev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng r(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double x = r.next_double() * 100;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+}
+
+TEST(Stats, GeomeanOfPowersOfTwo) {
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_EQ(geomean({}), 0.0);
+}
+
+TEST(Units, FrequencyRoundTrip) {
+  Frequency f{2.5};
+  EXPECT_NEAR(f.cycles_to_seconds(f.seconds_to_cycles(1.25)), 1.25, 1e-12);
+  EXPECT_NEAR(f.period_ns(), 0.4, 1e-12);
+}
+
+TEST(Check, ThrowsSimErrorWithContext) {
+  try {
+    MUSA_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected throw";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"app", "x"});
+  t.row().cell("hydro").cell(1.5, 2);
+  t.row().cell("lulesh").cell(10.25, 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("hydro"), std::string::npos);
+  EXPECT_NE(s.find("10.25"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTable, RejectsTooManyCells) {
+  TextTable t({"only"});
+  t.row().cell("a");
+  EXPECT_THROW(t.cell("b"), SimError);
+}
+
+TEST(Csv, RoundTripsThroughText) {
+  CsvDoc doc({"a", "b"});
+  doc.add_row({"1", "2"});
+  doc.add_row({"x", "y"});
+  const CsvDoc parsed = CsvDoc::parse(doc.str());
+  ASSERT_EQ(parsed.rows().size(), 2u);
+  EXPECT_EQ(parsed.rows()[1][1], "y");
+  EXPECT_EQ(parsed.column("b"), 1u);
+  EXPECT_THROW(parsed.column("zz"), SimError);
+}
+
+TEST(Csv, RejectsRaggedRow) {
+  CsvDoc doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"only-one"}), SimError);
+}
+
+TEST(Csv, FileRoundTrip) {
+  CsvDoc doc({"k", "v"});
+  doc.add_row({"answer", "42"});
+  const std::string path = std::string(::testing::TempDir()) + "musa_csv_test.csv";
+  doc.save(path);
+  ASSERT_TRUE(CsvDoc::file_exists(path));
+  const CsvDoc loaded = CsvDoc::load(path);
+  EXPECT_EQ(loaded.rows()[0][0], "answer");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace musa

@@ -1,0 +1,289 @@
+// Unit tests for the MUSA core: configuration space, pipeline plumbing,
+// and the DSE engine's normalisation machinery.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "core/config_space.hpp"
+#include "core/dse.hpp"
+#include "core/pipeline.hpp"
+
+namespace musa::core {
+namespace {
+
+TEST(ConfigSpace, Has864UniquePoints) {
+  const auto space = ConfigSpace::full_space();
+  ASSERT_EQ(space.size(), 864u);
+  std::unordered_set<std::string> ids;
+  for (const auto& c : space) ids.insert(c.id());
+  EXPECT_EQ(ids.size(), 864u);
+}
+
+TEST(ConfigSpace, DimensionsMatchTableI) {
+  EXPECT_EQ(ConfigSpace::cache_labels().size(), 3u);
+  EXPECT_EQ(ConfigSpace::frequencies().size(), 4u);
+  EXPECT_EQ(ConfigSpace::vector_widths().size(), 3u);
+  EXPECT_EQ(ConfigSpace::channel_counts().size(), 2u);
+  EXPECT_EQ(ConfigSpace::core_counts().size(), 3u);
+  // 4 x 3 x 4 x 3 x 2 x 3 = 864.
+  EXPECT_EQ(4 * 3 * 4 * 3 * 2 * 3, 864);
+}
+
+TEST(MachineConfig, IdEncodesEveryDimension) {
+  MachineConfig c;
+  c.core = cpusim::core_high();
+  c.cache_label = "96M:1M";
+  c.freq_ghz = 2.5;
+  c.vector_bits = 512;
+  c.mem_channels = 8;
+  c.cores = 64;
+  const std::string id = c.id();
+  EXPECT_NE(id.find("high"), std::string::npos);
+  EXPECT_NE(id.find("96M:1M"), std::string::npos);
+  EXPECT_NE(id.find("2.5GHz"), std::string::npos);
+  EXPECT_NE(id.find("512b"), std::string::npos);
+  EXPECT_NE(id.find("8ch"), std::string::npos);
+  EXPECT_NE(id.find("64c"), std::string::npos);
+}
+
+TEST(MachineConfig, IdWithoutBlanksOneDimension) {
+  MachineConfig a, b;
+  a.vector_bits = 128;
+  b.vector_bits = 512;
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_EQ(a.id_without("vector"), b.id_without("vector"));
+  EXPECT_NE(a.id_without("cache"), b.id_without("vector"));
+}
+
+TEST(MachineConfig, CacheConfigResolvesLabels) {
+  MachineConfig c;
+  c.cache_label = "64M:512K";
+  EXPECT_EQ(c.cache_config(4).l2.size_bytes, 512u * 1024);
+  EXPECT_EQ(c.cache_config(4).num_cores, 4);
+  c.cache_label = "bogus";
+  EXPECT_THROW(c.cache_config(1), SimError);
+}
+
+TEST(ConfigSpace, TableIIConfigsMatchPaper) {
+  const auto spmz = ConfigSpace::unconventional("spmz");
+  ASSERT_EQ(spmz.size(), 3u);
+  EXPECT_EQ(spmz[0].first, "Best-DSE");
+  EXPECT_EQ(spmz[1].second.vector_bits, 1024);
+  EXPECT_EQ(spmz[2].second.vector_bits, 2048);
+  EXPECT_EQ(spmz[1].second.core.label, "high");
+
+  const auto lulesh = ConfigSpace::unconventional("lulesh");
+  EXPECT_EQ(lulesh[1].second.mem_channels, 16);
+  EXPECT_EQ(lulesh[1].second.vector_bits, 64);
+  EXPECT_EQ(lulesh[2].second.mem_tech, dramsim::MemTech::kHbm2);
+  EXPECT_THROW(ConfigSpace::unconventional("hydro"), SimError);
+}
+
+TEST(Metrics, AccessorsReadResultFields) {
+  SimResult r;
+  r.region_seconds = 2.0;
+  r.wall_seconds = 3.0;
+  r.node_w = 10.0;
+  EXPECT_DOUBLE_EQ(metrics::region_time(r), 2.0);
+  EXPECT_DOUBLE_EQ(metrics::wall_time(r), 3.0);
+  EXPECT_DOUBLE_EQ(metrics::node_power(r), 10.0);
+  EXPECT_DOUBLE_EQ(metrics::region_energy(r), 20.0);
+}
+
+TEST(DseEngine, DimensionValueFormatting) {
+  MachineConfig c;
+  c.freq_ghz = 1.5;
+  EXPECT_EQ(DseEngine::dimension_value(c, "freq"), "1.5GHz");
+  EXPECT_EQ(DseEngine::dimension_value(c, "vector"), "128b");
+  EXPECT_EQ(DseEngine::dimension_value(c, "channels"), "4ch-DDR4-2333");
+  EXPECT_EQ(DseEngine::dimension_value(c, "cores"), "32c");
+  EXPECT_EQ(DseEngine::dimension_value(c, "core"), "medium");
+  EXPECT_EQ(DseEngine::dimension_value(c, "cache"), "32M:256K");
+  EXPECT_THROW(DseEngine::dimension_value(c, "nope"), SimError);
+}
+
+// Pipeline smoke tests with a reduced trace window (fast).
+PipelineOptions fast_options() {
+  PipelineOptions o;
+  o.warm_instrs = 40'000;
+  o.measure_instrs = 40'000;
+  return o;
+}
+
+TEST(Pipeline, ProducesSaneResult) {
+  Pipeline p(fast_options());
+  MachineConfig config;
+  config.cores = 32;
+  config.ranks = 16;  // small machine for speed
+  const SimResult r = p.run(apps::find_app("btmz"), config);
+  EXPECT_GT(r.region_seconds, 0.0);
+  EXPECT_GT(r.wall_seconds, r.region_seconds);  // several iterations + MPI
+  EXPECT_GT(r.ipc, 0.0);
+  EXPECT_LE(r.ipc, 8.0);
+  EXPECT_GT(r.avg_concurrency, 1.0);
+  EXPECT_LE(r.avg_concurrency, 32.0);
+  EXPECT_GT(r.core_l1_w, 0.0);
+  EXPECT_GT(r.l2_l3_w, 0.0);
+  EXPECT_GT(r.dram_w, 0.0);
+  EXPECT_NEAR(r.node_w, r.core_l1_w + r.l2_l3_w + r.dram_w, 1e-9);
+  EXPECT_GT(r.energy_j, 0.0);
+  EXPECT_GT(r.mpki_l1, 0.0);
+  EXPECT_GE(r.mpki_l1, r.mpki_l2);
+}
+
+TEST(Pipeline, MoreCoresShrinkRegion) {
+  Pipeline p(fast_options());
+  const auto& app = apps::find_app("hydro");
+  MachineConfig one, many;
+  one.cores = 1;
+  one.ranks = 8;
+  many.cores = 32;
+  many.ranks = 8;
+  const SimResult r1 = p.run(app, one);
+  const SimResult r32 = p.run(app, many);
+  EXPECT_GT(r1.region_seconds / r32.region_seconds, 10.0);
+}
+
+TEST(Pipeline, BurstModeMatchesHardwareAgnosticSemantics) {
+  Pipeline p(fast_options());
+  const auto& app = apps::find_app("spmz");
+  const BurstResult serial = p.run_burst(app, 1, 8);
+  const BurstResult par = p.run_burst(app, 32, 8);
+  EXPECT_GT(serial.region_seconds, par.region_seconds);
+  EXPECT_GT(serial.wall_seconds, par.wall_seconds);
+  // Serial region equals the reference duration (no contention modelled).
+  EXPECT_NEAR(serial.region_seconds,
+              app.ref_region_seconds * apps::make_region(app).total_work() /
+                  app.tasks_per_region,
+              serial.region_seconds * 0.25);
+}
+
+TEST(Pipeline, HbmConfigsHaveNoEnergy) {
+  Pipeline p(fast_options());
+  MachineConfig c;
+  c.mem_tech = dramsim::MemTech::kHbm2;
+  c.mem_channels = 16;
+  c.cores = 32;
+  c.ranks = 8;
+  const SimResult r = p.run(apps::find_app("lulesh"), c);
+  EXPECT_FALSE(r.dram_power_known);
+  EXPECT_DOUBLE_EQ(r.dram_w, 0.0);
+  EXPECT_DOUBLE_EQ(r.energy_j, 0.0);
+}
+
+// Handcrafted DSE cache exercising the normalisation math end to end:
+// two configs differing only in vector width, for two apps.
+TEST(DseEngine, NormalisedRatiosFromSyntheticCache) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "musa_dse_synthetic.csv";
+  CsvDoc doc(
+      {"app",        "core",      "cache",     "freq_ghz", "vector_bits",
+       "channels",   "tech",      "cores",     "ranks",    "region_s",
+       "wall_s",     "ipc",       "concurrency", "busy_frac",
+       "contention", "mpki_l1",   "mpki_l2",   "mpki_l3",  "gmem_req_s",
+       "mem_gbps",   "core_l1_w", "l2_l3_w",   "dram_w",   "dram_known",
+       "node_w",     "energy_j"});
+  auto row = [&](const std::string& app, int vec, double region,
+                 double power) {
+    doc.add_row({app, "medium", "32M:256K", "2", std::to_string(vec), "4",
+                 "DDR4-2333", "32", "256", std::to_string(region), "1", "1",
+                 "16", "0.5", "1", "10", "5", "1", "0.1", "10",
+                 std::to_string(power * 0.7), std::to_string(power * 0.2),
+                 std::to_string(power * 0.1), "1", std::to_string(power),
+                 "1"});
+  };
+  row("hydro", 128, 1.0, 100.0);
+  row("hydro", 512, 0.5, 150.0);  // 2x faster, 1.5x power
+  row("lulesh", 128, 1.0, 100.0);
+  row("lulesh", 512, 1.0, 130.0);  // no speed-up
+  doc.save(path);
+
+  Pipeline p(fast_options());
+  DseEngine dse(p, path);
+  const NormStat hydro_t = dse.normalized_ratio(
+      "hydro", 32, "vector", "512b", "128b", metrics::region_time);
+  EXPECT_EQ(hydro_t.n, 1);
+  EXPECT_NEAR(hydro_t.mean, 0.5, 1e-9);  // speed-up = 1/mean = 2x
+  const NormStat lulesh_t = dse.normalized_ratio(
+      "lulesh", 32, "vector", "512b", "128b", metrics::region_time);
+  EXPECT_NEAR(lulesh_t.mean, 1.0, 1e-9);
+
+  const NormStat hydro_p = dse.normalized_ratio(
+      "hydro", 32, "vector", "512b", "128b", metrics::node_power);
+  EXPECT_NEAR(hydro_p.mean, 1.5, 1e-9);
+
+  const auto split =
+      dse.power_split("hydro", 32, "vector", "512b", "128b");
+  EXPECT_NEAR(split.core_l1 + split.l2_l3 + split.dram, 1.5, 1e-9);
+  EXPECT_NEAR(split.core_l1, 1.05, 1e-9);  // 0.7 x 1.5
+
+  // Energy ratio = (power x region) ratio = 1.5 x 0.5.
+  const NormStat hydro_e = dse.normalized_ratio(
+      "hydro", 32, "vector", "512b", "128b", metrics::region_energy);
+  EXPECT_NEAR(hydro_e.mean, 0.75, 1e-9);
+
+  // Baseline itself normalises to exactly 1.
+  const NormStat self = dse.normalized_ratio(
+      "hydro", 32, "vector", "128b", "128b", metrics::region_time);
+  EXPECT_NEAR(self.mean, 1.0, 1e-12);
+
+  // Averages filter by dimension value.
+  const NormStat avg =
+      dse.average("hydro", 32, "vector", "512b", metrics::node_power);
+  EXPECT_NEAR(avg.mean, 150.0, 1e-9);
+
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, MultiPhaseRegionsSumAndScaleIndependently) {
+  // Two-phase app: phase 0 scales to 64 cores, phase 1 (16 tasks) cannot.
+  apps::AppModel app = apps::find_app("hydro");
+  app.name = "twophase_pipe";
+  apps::Phase solve;
+  solve.name = "solve";
+  solve.kernel = apps::find_app("spec3d").kernel;
+  solve.task_instrs = 1e6;
+  solve.tasks_per_region = 16;
+  solve.task_imbalance = 0.1;
+  solve.ref_region_seconds = 4e-3;
+  app.extra_phases.push_back(solve);
+
+  Pipeline p(fast_options());
+  const BurstResult serial = p.run_burst(app, 1, 4);
+  const BurstResult par = p.run_burst(app, 64, 4);
+  const double speedup = serial.region_seconds / par.region_seconds;
+  // Whole-timestep speed-up sits between the solve cap (~16x on its share)
+  // and the flux region's near-linear scaling.
+  EXPECT_GT(speedup, 10.0);
+  EXPECT_LT(speedup, 50.0);
+
+  MachineConfig config;
+  config.cores = 32;
+  config.ranks = 4;
+  const SimResult r = p.run(app, config);
+  EXPECT_GT(r.region_seconds, 0.0);
+  EXPECT_GT(r.node_w, 0.0);
+
+  // The same app without the extra phase has a shorter region.
+  apps::AppModel single = apps::find_app("hydro");
+  const SimResult rs = p.run(single, config);
+  EXPECT_GT(r.region_seconds, rs.region_seconds);
+}
+
+TEST(DseEngine, RejectsStaleCacheSchema) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "musa_dse_stale.csv";
+  CsvDoc doc({"wrong", "schema"});
+  doc.add_row({"1", "2"});
+  doc.save(path);
+  Pipeline p(fast_options());
+  DseEngine dse(p, path);
+  EXPECT_THROW(dse.results(), SimError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace musa::core

@@ -1,0 +1,188 @@
+// Unit tests for the ISA layer: opcode classification, latencies, and the
+// vector-fusion pass (paper §III SIMD model).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "isa/instr.hpp"
+#include "isa/latencies.hpp"
+#include "isa/vector_fusion.hpp"
+#include "trace/instr_source.hpp"
+
+namespace musa::isa {
+namespace {
+
+Instr scalar(OpClass op) {
+  Instr in;
+  in.op = op;
+  return in;
+}
+
+Instr lane(std::uint32_t static_id, std::uint16_t lane_idx,
+           std::uint64_t addr = 0, OpClass op = OpClass::kFpAdd) {
+  Instr in;
+  in.op = op;
+  in.static_id = static_id;
+  in.lane = lane_idx;
+  in.vectorizable = 1;
+  in.addr = addr;
+  in.size = 8;
+  return in;
+}
+
+TEST(OpClass, Classification) {
+  EXPECT_TRUE(is_fp(OpClass::kFpAdd));
+  EXPECT_TRUE(is_fp(OpClass::kFpMul));
+  EXPECT_TRUE(is_fp(OpClass::kFpDiv));
+  EXPECT_FALSE(is_fp(OpClass::kLoad));
+  EXPECT_TRUE(is_mem(OpClass::kLoad));
+  EXPECT_TRUE(is_mem(OpClass::kStore));
+  EXPECT_FALSE(is_mem(OpClass::kBranch));
+}
+
+TEST(OpClass, NamesAreUnique) {
+  std::vector<std::string> names;
+  for (int c = 0; c < kNumOpClasses; ++c)
+    names.emplace_back(op_class_name(static_cast<OpClass>(c)));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(Latencies, DivSlowerThanMul) {
+  EXPECT_GT(exec_latency(OpClass::kFpDiv), exec_latency(OpClass::kFpMul));
+  EXPECT_GE(exec_latency(OpClass::kFpMul), exec_latency(OpClass::kFpAdd));
+  EXPECT_EQ(exec_latency(OpClass::kIntAlu), 1);
+}
+
+TEST(VectorFusion, ScalarWidthPassesThrough) {
+  trace::VectorSource src({lane(1, 0), lane(1, 1), lane(1, 2)});
+  VectorFusion fusion(src, /*vector_bits=*/64);
+  FusedInstr op;
+  int count = 0;
+  while (fusion.next(op)) {
+    EXPECT_EQ(op.lanes, 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(VectorFusion, FusesFullGroups) {
+  trace::VectorSource src({lane(1, 0), lane(1, 1), lane(1, 2), lane(1, 3)});
+  VectorFusion fusion(src, /*vector_bits=*/256);  // 4 lanes of 64-bit
+  FusedInstr op;
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.lanes, 4);
+  EXPECT_FALSE(fusion.next(op));
+  EXPECT_EQ(fusion.stats().full_groups, 1u);
+  EXPECT_EQ(fusion.stats().partial_flushes, 0u);
+}
+
+TEST(VectorFusion, PartialGroupFlushedAtEnd) {
+  trace::VectorSource src({lane(1, 0), lane(1, 1), lane(1, 2)});
+  VectorFusion fusion(src, /*vector_bits=*/256);
+  FusedInstr op;
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.lanes, 3);  // flushed partial at end of stream
+  EXPECT_EQ(fusion.stats().partial_flushes, 1u);
+}
+
+TEST(VectorFusion, NonVectorizablePassesThroughImmediately) {
+  Instr sc = scalar(OpClass::kIntAlu);
+  trace::VectorSource src({lane(1, 0), sc, lane(1, 1)});
+  VectorFusion fusion(src, /*vector_bits=*/128);
+  FusedInstr op;
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.first.op, OpClass::kIntAlu);  // scalar emitted first
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.lanes, 2);  // then the completed pair
+}
+
+TEST(VectorFusion, CapturesAddressStride) {
+  trace::VectorSource src(
+      {lane(1, 0, 1000, OpClass::kLoad), lane(1, 1, 1008, OpClass::kLoad),
+       lane(1, 2, 1016, OpClass::kLoad), lane(1, 3, 1024, OpClass::kLoad)});
+  VectorFusion fusion(src, /*vector_bits=*/256);
+  FusedInstr op;
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.stride, 8);
+  EXPECT_EQ(op.first.addr, 1000u);
+  EXPECT_EQ(op.bytes, 32u);  // 4 lanes x 8 bytes
+}
+
+TEST(VectorFusion, InterleavedGroupsFuseIndependently) {
+  // Two static instructions interleaved, as in a real loop body.
+  trace::VectorSource src({lane(1, 0), lane(2, 0), lane(1, 1), lane(2, 1)});
+  VectorFusion fusion(src, /*vector_bits=*/128);
+  FusedInstr op;
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.first.static_id, 1u);
+  EXPECT_EQ(op.lanes, 2);
+  ASSERT_TRUE(fusion.next(op));
+  EXPECT_EQ(op.first.static_id, 2u);
+  EXPECT_EQ(op.lanes, 2);
+}
+
+TEST(VectorFusion, StaleGroupsFlushPartial) {
+  // One lone lane followed by > kMaxFusionDistance fillers: the group must
+  // flush below target width (the short-trip-count-loop behaviour).
+  std::vector<Instr> instrs;
+  instrs.push_back(lane(7, 0));
+  for (std::uint64_t i = 0; i < VectorFusion::kMaxFusionDistance + 10; ++i)
+    instrs.push_back(scalar(OpClass::kIntAlu));
+  instrs.push_back(lane(7, 1));  // arrives too late to join
+  trace::VectorSource src(std::move(instrs));
+  VectorFusion fusion(src, /*vector_bits=*/512);
+  FusedInstr op;
+  std::uint64_t fused_lane_ops = 0;
+  while (fusion.next(op))
+    if (op.first.static_id == 7) ++fused_lane_ops;
+  EXPECT_EQ(fused_lane_ops, 2u);  // two separate partial emissions
+  EXPECT_GE(fusion.stats().partial_flushes, 1u);
+}
+
+TEST(VectorFusion, ConservesScalarInstructions) {
+  std::vector<Instr> instrs;
+  for (int g = 0; g < 10; ++g)
+    for (int l = 0; l < 7; ++l) instrs.push_back(lane(g + 1, l));
+  trace::VectorSource src(std::move(instrs));
+  VectorFusion fusion(src, /*vector_bits=*/256);
+  FusedInstr op;
+  std::uint64_t lanes = 0;
+  while (fusion.next(op)) lanes += op.lanes;
+  EXPECT_EQ(lanes, 70u);
+  EXPECT_EQ(fusion.stats().in_instrs, 70u);
+}
+
+TEST(VectorFusion, RejectsInvalidWidths) {
+  trace::VectorSource src({});
+  EXPECT_THROW(VectorFusion(src, 32), musa::SimError);  // below element
+  EXPECT_THROW(VectorFusion(src, 100, 64), musa::SimError);
+}
+
+class FusionWidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FusionWidthSweep, OutputCountShrinksWithWidth) {
+  const int bits = GetParam();
+  std::vector<Instr> instrs;
+  for (int g = 0; g < 4; ++g)
+    for (int l = 0; l < 64; ++l)
+      instrs.push_back(lane(g + 1, l, 4096 + l * 8, OpClass::kLoad));
+  trace::VectorSource src(std::move(instrs));
+  VectorFusion fusion(src, bits);
+  FusedInstr op;
+  std::uint64_t out = 0, lanes = 0;
+  while (fusion.next(op)) {
+    ++out;
+    lanes += op.lanes;
+    EXPECT_LE(op.lanes, bits / 64);
+  }
+  EXPECT_EQ(lanes, 256u);  // conservation
+  EXPECT_EQ(out, 256u / (bits / 64));  // exact fusion: trip divides lanes
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, FusionWidthSweep,
+                         ::testing::Values(64, 128, 256, 512, 1024, 2048));
+
+}  // namespace
+}  // namespace musa::isa

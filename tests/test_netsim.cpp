@@ -1,0 +1,232 @@
+// Unit tests for the Dimemas-style MPI replay engine.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "netsim/dimemas.hpp"
+#include "trace/burst.hpp"
+
+namespace musa::netsim {
+namespace {
+
+using trace::AppTrace;
+using trace::BurstEvent;
+using trace::MpiOp;
+
+AppTrace two_ranks() {
+  AppTrace t;
+  t.ranks.resize(2);
+  t.ranks[0].rank = 0;
+  t.ranks[1].rank = 1;
+  return t;
+}
+
+NetworkConfig fast_net() {
+  return {.latency_s = 1e-6, .bandwidth_gbps = 10.0,
+          .eager_threshold = 32 * 1024};
+}
+
+TEST(Dimemas, ComputeOnlyRanksFinishIndependently) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+  t.ranks[1].events.push_back(BurstEvent::compute(2.0, 0));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  EXPECT_NEAR(r.total_seconds, 2.0, 1e-9);
+  EXPECT_NEAR(r.ranks[0].finish_s, 1.0, 1e-9);
+}
+
+TEST(Dimemas, RegionScaleRescalesComputeBursts) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+  t.ranks[1].events.push_back(BurstEvent::compute(1.0, 0));
+  DimemasEngine net(fast_net());
+  ReplayOptions opts;
+  opts.region_scale = {0.25};
+  EXPECT_NEAR(net.replay(t, opts).total_seconds, 0.25, 1e-9);
+}
+
+TEST(Dimemas, PerRegionScalesApplyIndependently) {
+  AppTrace t = two_ranks();
+  for (int r = 0; r < 2; ++r) {
+    t.ranks[r].events.push_back(BurstEvent::compute(1.0, /*region=*/0));
+    t.ranks[r].events.push_back(BurstEvent::compute(1.0, /*region=*/1));
+  }
+  DimemasEngine net(fast_net());
+  ReplayOptions opts;
+  opts.region_scale = {0.5, 2.0};
+  EXPECT_NEAR(net.replay(t, opts).total_seconds, 2.5, 1e-9);
+}
+
+TEST(Dimemas, EagerSendDoesNotBlockSender) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kSend, 1, 1024));
+  t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+  t.ranks[1].events.push_back(BurstEvent::compute(0.5, 0));
+  t.ranks[1].events.push_back(BurstEvent::mpi(MpiOp::kRecv, 0, 1024));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  // Sender continues after injecting 1 kB (~0.1 µs), not after the match.
+  EXPECT_LT(r.ranks[0].finish_s, 1.001);
+  // Receiver completes at max(post, arrival) = 0.5 s.
+  EXPECT_NEAR(r.ranks[1].finish_s, 0.5, 1e-3);
+}
+
+TEST(Dimemas, RendezvousSenderPaysFullTransfer) {
+  AppTrace t = two_ranks();
+  const std::uint64_t big = 100 * 1024 * 1024;  // 100 MB >> eager threshold
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kSend, 1, big));
+  t.ranks[1].events.push_back(BurstEvent::mpi(MpiOp::kRecv, 0, big));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  const double expect = fast_net().transfer_s(big);
+  EXPECT_NEAR(r.ranks[0].finish_s, expect, expect * 0.01);
+  EXPECT_NEAR(r.ranks[1].finish_s, expect, expect * 0.01);
+}
+
+TEST(Dimemas, RecvWaitsForLateSender) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::compute(2.0, 0));
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kSend, 1, 8));
+  t.ranks[1].events.push_back(BurstEvent::mpi(MpiOp::kRecv, 0, 8));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  EXPECT_GT(r.ranks[1].finish_s, 2.0);
+  EXPECT_GT(r.ranks[1].p2p_s, 1.9);  // blocked nearly the whole time
+}
+
+TEST(Dimemas, IsendIrecvWaitRoundTrip) {
+  AppTrace t = two_ranks();
+  auto& r0 = t.ranks[0].events;
+  auto& r1 = t.ranks[1].events;
+  r0.push_back(BurstEvent::mpi(MpiOp::kIrecv, 1, 64, 0));
+  r0.push_back(BurstEvent::mpi(MpiOp::kIsend, 1, 64, 1));
+  r0.push_back(BurstEvent::compute(0.1, 0));
+  r0.push_back(BurstEvent::mpi(MpiOp::kWait, 1, 0, 0));
+  r0.push_back(BurstEvent::mpi(MpiOp::kWait, 1, 0, 1));
+  r1.push_back(BurstEvent::mpi(MpiOp::kIrecv, 0, 64, 0));
+  r1.push_back(BurstEvent::mpi(MpiOp::kIsend, 0, 64, 1));
+  r1.push_back(BurstEvent::compute(0.1, 0));
+  r1.push_back(BurstEvent::mpi(MpiOp::kWait, 0, 0, 0));
+  r1.push_back(BurstEvent::mpi(MpiOp::kWait, 0, 0, 1));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  EXPECT_NEAR(r.total_seconds, 0.1, 0.01);  // overlapped exchange
+}
+
+TEST(Dimemas, BarrierSynchronisesAllRanks) {
+  AppTrace t;
+  t.ranks.resize(4);
+  for (int i = 0; i < 4; ++i) {
+    t.ranks[i].rank = i;
+    t.ranks[i].events.push_back(BurstEvent::compute(0.5 * (i + 1), 0));
+    t.ranks[i].events.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+    t.ranks[i].events.push_back(BurstEvent::compute(0.1, 0));
+  }
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  // Everyone leaves the barrier after the slowest (2.0 s) entrant.
+  for (int i = 0; i < 4; ++i) EXPECT_GT(r.ranks[i].finish_s, 2.09);
+  EXPECT_GT(r.ranks[0].collective_s, 1.4);  // rank 0 waited ~1.5 s
+}
+
+TEST(Dimemas, AllreduceCostsLogTreeTransfers) {
+  AppTrace t;
+  t.ranks.resize(8);
+  for (int i = 0; i < 8; ++i) {
+    t.ranks[i].rank = i;
+    t.ranks[i].events.push_back(
+        BurstEvent::mpi(MpiOp::kAllreduce, -1, 1024));
+  }
+  const NetworkConfig net_cfg = fast_net();
+  DimemasEngine net(net_cfg);
+  const ReplayResult r = net.replay(t, {});
+  const double expect = 2.0 * 3 * net_cfg.transfer_s(1024);  // 2·log2(8)
+  EXPECT_NEAR(r.total_seconds, expect, expect * 0.01);
+}
+
+TEST(Dimemas, JitterIsDeterministicAndBounded) {
+  AppTrace t = two_ranks();
+  for (int i = 0; i < 16; ++i) {
+    t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+    t.ranks[1].events.push_back(BurstEvent::compute(1.0, 0));
+  }
+  DimemasEngine net(fast_net());
+  ReplayOptions opts;
+  opts.region_jitter_sigma = 0.2;
+  const ReplayResult a = net.replay(t, opts);
+  const ReplayResult b = net.replay(t, opts);
+  EXPECT_DOUBLE_EQ(a.total_seconds, b.total_seconds);
+  // Jitter perturbs but does not explode: within ±60% of nominal total.
+  EXPECT_NEAR(a.total_seconds, 16.0, 16.0 * 0.6);
+  EXPECT_NE(a.total_seconds, 16.0);
+}
+
+TEST(Dimemas, TimelineRecordsSegments) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+  t.ranks[1].events.push_back(BurstEvent::compute(2.0, 0));
+  t.ranks[1].events.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+  DimemasEngine net(fast_net());
+  ReplayOptions opts;
+  opts.record_timeline = true;
+  const ReplayResult r = net.replay(t, opts);
+  bool compute_seen = false, collective_seen = false;
+  for (const auto& seg : r.timeline) {
+    if (seg.kind == RankSeg::Kind::kCompute) compute_seen = true;
+    if (seg.kind == RankSeg::Kind::kCollective) collective_seen = true;
+    EXPECT_LE(seg.start, seg.end);
+  }
+  EXPECT_TRUE(compute_seen);
+  EXPECT_TRUE(collective_seen);
+}
+
+TEST(Dimemas, DetectsUnmatchedRecv) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kRecv, 1, 64));
+  // Rank 1 never sends.
+  t.ranks[1].events.push_back(BurstEvent::compute(0.1, 0));
+  DimemasEngine net(fast_net());
+  EXPECT_THROW(net.replay(t, {}), SimError);
+}
+
+TEST(Dimemas, AccountsComputeAndMpiSeparately) {
+  AppTrace t = two_ranks();
+  t.ranks[0].events.push_back(BurstEvent::compute(1.0, 0));
+  t.ranks[0].events.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+  t.ranks[1].events.push_back(BurstEvent::compute(3.0, 0));
+  t.ranks[1].events.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  EXPECT_NEAR(r.total_compute(), 4.0, 1e-6);
+  EXPECT_NEAR(r.ranks[0].collective_s, 2.0, 0.01);
+  EXPECT_NEAR(r.total_mpi(), 2.0, 0.05);
+}
+
+class RankCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankCountSweep, RingExchangeDrainsAtAnyScale) {
+  const int P = GetParam();
+  AppTrace t;
+  t.ranks.resize(P);
+  for (int r = 0; r < P; ++r) {
+    t.ranks[r].rank = r;
+    auto& ev = t.ranks[r].events;
+    ev.push_back(BurstEvent::compute(0.01, 0));
+    ev.push_back(BurstEvent::mpi(MpiOp::kIrecv, (r + P - 1) % P, 4096, 0));
+    ev.push_back(BurstEvent::mpi(MpiOp::kIsend, (r + 1) % P, 4096, 1));
+    ev.push_back(BurstEvent::mpi(MpiOp::kWait, -1, 0, 0));
+    ev.push_back(BurstEvent::mpi(MpiOp::kWait, -1, 0, 1));
+    ev.push_back(BurstEvent::mpi(MpiOp::kBarrier, -1, 0));
+  }
+  DimemasEngine net(fast_net());
+  const ReplayResult r = net.replay(t, {});
+  EXPECT_GT(r.total_seconds, 0.01);
+  EXPECT_LT(r.total_seconds, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankCountSweep,
+                         ::testing::Values(2, 3, 16, 64, 256));
+
+}  // namespace
+}  // namespace musa::netsim

@@ -1,0 +1,153 @@
+// Unit tests for the McPAT/DRAMPower-like power models.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "cpusim/core_config.hpp"
+#include "powersim/power.hpp"
+#include "powersim/tech.hpp"
+
+namespace musa::powersim {
+namespace {
+
+NodeActivity busy_activity(int cores) {
+  NodeActivity a;
+  a.ops_s[static_cast<int>(isa::OpClass::kIntAlu)] = 1e9 * cores;
+  a.ops_s[static_cast<int>(isa::OpClass::kFpMul)] = 0.5e9 * cores;
+  a.lanes_s[static_cast<int>(isa::OpClass::kIntAlu)] = 1e9 * cores;
+  a.lanes_s[static_cast<int>(isa::OpClass::kFpMul)] = 1e9 * cores;  // 2 lanes
+  a.l1_access_s = 0.5e9 * cores;
+  a.l2_access_s = 5e7 * cores;
+  a.l3_access_s = 1e7 * cores;
+  a.active_cores = cores;
+  a.total_cores = cores;
+  return a;
+}
+
+TEST(Tech, VoltageMatchesPaperAnchors) {
+  EXPECT_NEAR(voltage_for_ghz(1.5), 0.75, 1e-9);
+  EXPECT_NEAR(voltage_for_ghz(3.0), 1.05, 1e-9);
+  EXPECT_GT(dynamic_scale(1.05), dynamic_scale(0.75));
+}
+
+TEST(CorePower, HigherFrequencyCostsMorePower) {
+  const auto cfg = cpusim::core_medium();
+  const CorePower low(cfg, 128, 1.5);
+  const CorePower high(cfg, 128, 3.0);
+  const NodeActivity a = busy_activity(1);
+  EXPECT_GT(high.evaluate_w(a), low.evaluate_w(a));
+}
+
+TEST(CorePower, WiderVectorsLeakMore) {
+  const auto cfg = cpusim::core_medium();
+  const CorePower narrow(cfg, 128, 2.0);
+  const CorePower wide(cfg, 512, 2.0);
+  EXPECT_GT(wide.core_leakage_w(), narrow.core_leakage_w());
+  // FPU leakage scales ~4x with 4x lanes; total core leakage grows.
+  EXPECT_GT(wide.core_leakage_w() / narrow.core_leakage_w(), 1.3);
+}
+
+TEST(CorePower, BiggerCoresLeakMore) {
+  const CorePower lowend(cpusim::core_low_end(), 128, 2.0);
+  const CorePower aggressive(cpusim::core_aggressive(), 128, 2.0);
+  EXPECT_GT(aggressive.core_leakage_w(), lowend.core_leakage_w());
+}
+
+TEST(CorePower, IdleCoresStillBurnLeakage) {
+  const CorePower p(cpusim::core_medium(), 128, 2.0);
+  NodeActivity idle;
+  idle.active_cores = 0;
+  idle.total_cores = 64;
+  const double w = p.evaluate_w(idle);
+  EXPECT_NEAR(w, 64 * p.core_leakage_w(), 1e-9);
+  EXPECT_GT(w, 10.0);  // the paper's "leakage waste" effect is material
+}
+
+TEST(CorePower, VectorOpEnergyScalesWithLanes) {
+  const CorePower p(cpusim::core_medium(), 512, 2.0);
+  const double e1 = p.op_energy_j(isa::OpClass::kFpMul, 1);
+  const double e8 = p.op_energy_j(isa::OpClass::kFpMul, 8);
+  EXPECT_GT(e8, e1);
+  EXPECT_LT(e8, 8 * e1);  // amortised, not 8x
+}
+
+TEST(CachePower, LeakageGrowsWithCapacity) {
+  const auto small = cachesim::cache_32m_256k(64);
+  const auto big = cachesim::cache_96m_1m(64);
+  const CachePower ps(small, 2.0), pb(big, 2.0);
+  NodeActivity idle;
+  idle.total_cores = 64;
+  EXPECT_GT(pb.evaluate_w(idle), 2.0 * ps.evaluate_w(idle));
+}
+
+TEST(CachePower, DynamicGrowsWithAccessRate) {
+  const CachePower p(cachesim::cache_32m_256k(32), 2.0);
+  NodeActivity quiet;
+  quiet.total_cores = 32;
+  NodeActivity loud = quiet;
+  loud.l2_access_s = 1e10;
+  loud.l3_access_s = 1e9;
+  EXPECT_GT(p.evaluate_w(loud), p.evaluate_w(quiet));
+}
+
+TEST(DramPower, DoublingDimmsDoublesBackground) {
+  const DramPower p8(8), p16(16);
+  const dramsim::DramCounters idle;
+  EXPECT_NEAR(p16.evaluate_w(idle, 1.0), 2.0 * p8.evaluate_w(idle, 1.0),
+              1e-9);
+}
+
+TEST(DramPower, CommandsAddDynamicPower) {
+  const DramPower p(8);
+  dramsim::DramCounters busy;
+  busy.acts = 1'000'000;
+  busy.reads = 4'000'000;
+  busy.writes = 1'000'000;
+  const dramsim::DramCounters idle;
+  EXPECT_GT(p.evaluate_w(busy, 0.01), p.evaluate_w(idle, 0.01));
+}
+
+TEST(DramPower, DimmsForChannelsMatchesPaper) {
+  // 2 DIMMs per channel: 8 DIMMs/64 GB at 4ch, 16 DIMMs/128 GB at 8ch.
+  EXPECT_EQ(DramPower::dimms_for_channels(4), 8);
+  EXPECT_EQ(DramPower::dimms_for_channels(8), 16);
+}
+
+TEST(DramPower, RejectsZeroDimms) { EXPECT_THROW(DramPower(0), SimError); }
+
+TEST(PowerBreakdown, TotalSumsComponents) {
+  PowerBreakdown b{.core_l1_w = 100, .l2_l3_w = 20, .dram_w = 15};
+  EXPECT_DOUBLE_EQ(b.total(), 135.0);
+}
+
+// Property: the paper's 2x-frequency ≈ 2.5x node power relation holds to
+// first order for a busy node (V/f scaling of dynamic + V scaling of leak).
+TEST(PowerScaling, FrequencyDoublingCostsMoreThanDouble) {
+  const auto cfg = cpusim::core_medium();
+  const NodeActivity base = busy_activity(64);
+  NodeActivity fast = base;
+  // Performance doubles => activity rates double.
+  for (auto& v : fast.ops_s) v *= 2;
+  for (auto& v : fast.lanes_s) v *= 2;
+  fast.l1_access_s *= 2;
+  const CorePower p15(cfg, 128, 1.5), p30(cfg, 128, 3.0);
+  const double w15 = p15.evaluate_w(base);
+  const double w30 = p30.evaluate_w(fast);
+  EXPECT_GT(w30 / w15, 2.0);
+  EXPECT_LT(w30 / w15, 3.5);
+}
+
+class VectorPowerSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(VectorPowerSweep, PowerMonotoneInWidth) {
+  const int bits = GetParam();
+  const CorePower p(cpusim::core_medium(), bits, 2.0);
+  const CorePower wider(cpusim::core_medium(), bits * 2, 2.0);
+  const NodeActivity a = busy_activity(32);
+  EXPECT_LT(p.evaluate_w(a), wider.evaluate_w(a));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, VectorPowerSweep,
+                         ::testing::Values(128, 256, 512, 1024));
+
+}  // namespace
+}  // namespace musa::powersim

@@ -1,0 +1,191 @@
+// Unit tests for the trace layer: synthetic kernel sources, burst traces,
+// and regions.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "common/check.hpp"
+#include "trace/burst.hpp"
+#include "trace/kernel.hpp"
+#include "trace/region.hpp"
+
+namespace musa::trace {
+namespace {
+
+KernelProfile tiny_profile() {
+  KernelProfile p;
+  p.name = "tiny";
+  p.vec_body = {.loads = 1, .fp_add = 1, .fp_mul = 1, .stores = 1};
+  p.vec_trip = 4;
+  p.scalar_tail = {.int_alu = 4, .int_mul = 1, .fp_add = 2, .fp_mul = 2,
+                   .fp_div = 1, .loads = 4, .stores = 2, .branches = 2};
+  p.streams = {{.share = 0.5, .ws_bytes = 4096, .stride = 8},
+               {.share = 0.5, .ws_bytes = 1 << 20, .stride = 64}};
+  return p;
+}
+
+TEST(KernelSource, DeterministicReplay) {
+  KernelSource a(tiny_profile(), 1000, 42);
+  KernelSource b(tiny_profile(), 1000, 42);
+  isa::Instr ia, ib;
+  while (a.next(ia)) {
+    ASSERT_TRUE(b.next(ib));
+    EXPECT_EQ(ia.op, ib.op);
+    EXPECT_EQ(ia.addr, ib.addr);
+    EXPECT_EQ(ia.static_id, ib.static_id);
+  }
+  EXPECT_FALSE(b.next(ib));
+}
+
+TEST(KernelSource, ResetReplaysIdentically) {
+  KernelSource src(tiny_profile(), 500, 7);
+  std::vector<isa::Instr> first;
+  isa::Instr in;
+  while (src.next(in)) first.push_back(in);
+  src.reset();
+  std::size_t i = 0;
+  while (src.next(in)) {
+    ASSERT_LT(i, first.size());
+    EXPECT_EQ(in.addr, first[i].addr);
+    EXPECT_EQ(in.op, first[i].op);
+    ++i;
+  }
+  EXPECT_EQ(i, first.size());
+}
+
+TEST(KernelSource, RespectsBudgetWithinOneIteration) {
+  const auto p = tiny_profile();
+  KernelSource src(p, 100, 1);
+  isa::Instr in;
+  std::uint64_t n = 0;
+  while (src.next(in)) ++n;
+  EXPECT_GE(n, 100u);
+  EXPECT_LE(n, 100u + static_cast<std::uint64_t>(p.instrs_per_outer()));
+}
+
+TEST(KernelSource, InstructionMixMatchesProfile) {
+  const auto p = tiny_profile();
+  const int per_outer = p.instrs_per_outer();
+  KernelSource src(p, static_cast<std::uint64_t>(per_outer) * 10, 3);
+  isa::Instr in;
+  int counts[isa::kNumOpClasses] = {};
+  while (src.next(in)) ++counts[static_cast<int>(in.op)];
+  // Per 10 outer iterations: vec contributes trip * body, tail contributes
+  // its own counts.
+  EXPECT_EQ(counts[static_cast<int>(isa::OpClass::kLoad)],
+            10 * (p.vec_trip * p.vec_body.loads + p.scalar_tail.loads));
+  EXPECT_EQ(counts[static_cast<int>(isa::OpClass::kStore)],
+            10 * (p.vec_trip * p.vec_body.stores + p.scalar_tail.stores));
+  EXPECT_EQ(counts[static_cast<int>(isa::OpClass::kFpDiv)],
+            10 * p.scalar_tail.fp_div);
+  EXPECT_EQ(counts[static_cast<int>(isa::OpClass::kBranch)],
+            10 * p.scalar_tail.branches);
+}
+
+TEST(KernelSource, VectorLanesCarryMarkers) {
+  KernelSource src(tiny_profile(), 200, 5);
+  isa::Instr in;
+  bool saw_vectorizable = false;
+  while (src.next(in)) {
+    if (in.vectorizable) {
+      saw_vectorizable = true;
+      EXPECT_GT(in.static_id, 0u);
+      EXPECT_LT(in.lane, tiny_profile().vec_trip);
+    }
+  }
+  EXPECT_TRUE(saw_vectorizable);
+}
+
+TEST(KernelSource, StreamAddressesStayInWorkingSet) {
+  KernelProfile p = tiny_profile();
+  p.streams = {{.share = 1.0, .ws_bytes = 4096, .stride = 8}};
+  KernelSource src(p, 5000, 11);
+  isa::Instr in;
+  while (src.next(in)) {
+    if (!isa::is_mem(in.op) || in.vectorizable) continue;
+    // Stream base is a multiple of 2^32; offset below ws_bytes.
+    EXPECT_LT(in.addr % (1ull << 32), 4096u);
+  }
+}
+
+TEST(KernelSource, RandomStreamCoversWorkingSet) {
+  KernelProfile p = tiny_profile();
+  p.streams = {{.share = 1.0, .ws_bytes = 1 << 16, .stride = 0}};
+  KernelSource src(p, 20000, 13);
+  isa::Instr in;
+  std::set<std::uint64_t> lines;
+  while (src.next(in))
+    if (isa::is_mem(in.op) && !in.vectorizable)
+      lines.insert(in.addr % (1ull << 32) / 64);
+  EXPECT_GT(lines.size(), 500u);  // many distinct lines of the 1024 possible
+}
+
+TEST(KernelSource, DependentStreamChainsLoads) {
+  KernelProfile p = tiny_profile();
+  p.streams = {{.share = 1.0, .ws_bytes = 1 << 20, .stride = 64,
+                .dependent = true}};
+  KernelSource src(p, 2000, 17);
+  isa::Instr in;
+  bool chained = false;
+  while (src.next(in)) {
+    if (in.op == isa::OpClass::kLoad && !in.vectorizable) {
+      // Chain loads: destination feeds the next load's address register.
+      EXPECT_EQ(in.dst, in.src1);
+      chained = true;
+    }
+  }
+  EXPECT_TRUE(chained);
+}
+
+TEST(KernelSource, RejectsBadProfiles) {
+  KernelProfile empty;
+  EXPECT_THROW(KernelSource(empty, 100), SimError);
+  KernelProfile bad = tiny_profile();
+  bad.ilp_chains = 0;
+  EXPECT_THROW(KernelSource(bad, 100), SimError);
+  KernelProfile small_ws = tiny_profile();
+  small_ws.streams = {{.share = 1.0, .ws_bytes = 32, .stride = 8}};
+  EXPECT_THROW(KernelSource(small_ws, 100), SimError);
+}
+
+TEST(BurstEvent, FactoryFunctions) {
+  const BurstEvent c = BurstEvent::compute(0.5, 3);
+  EXPECT_EQ(c.kind, BurstEvent::Kind::kCompute);
+  EXPECT_DOUBLE_EQ(c.seconds, 0.5);
+  EXPECT_EQ(c.region_id, 3);
+
+  const BurstEvent m = BurstEvent::mpi(MpiOp::kIsend, 7, 1024, 2);
+  EXPECT_EQ(m.kind, BurstEvent::Kind::kMpi);
+  EXPECT_EQ(m.peer, 7);
+  EXPECT_EQ(m.bytes, 1024u);
+  EXPECT_EQ(m.req, 2);
+}
+
+TEST(BurstEvent, MpiOpNames) {
+  EXPECT_STREQ(mpi_op_name(MpiOp::kAllreduce), "Allreduce");
+  EXPECT_STREQ(mpi_op_name(MpiOp::kIrecv), "Irecv");
+}
+
+TEST(Region, TotalWorkSumsTaskWork) {
+  Region r;
+  r.tasks.push_back({.type = 0, .work = 1.5});
+  r.tasks.push_back({.type = 0, .work = 2.5});
+  EXPECT_DOUBLE_EQ(r.total_work(), 4.0);
+}
+
+class KernelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KernelSeedSweep, AllSeedsProduceFullBudget) {
+  KernelSource src(tiny_profile(), 300, GetParam());
+  isa::Instr in;
+  std::uint64_t n = 0;
+  while (src.next(in)) ++n;
+  EXPECT_GE(n, 300u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelSeedSweep,
+                         ::testing::Values(1, 2, 3, 1000, 0xdeadbeef));
+
+}  // namespace
+}  // namespace musa::trace

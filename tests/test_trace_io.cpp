@@ -1,0 +1,163 @@
+// Unit tests for trace serialisation (burst traces, regions, instruction
+// streams) — the durable-artifact layer of the methodology.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "apps/apps.hpp"
+#include "common/check.hpp"
+#include "trace/kernel.hpp"
+#include "trace/trace_io.hpp"
+
+namespace musa::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+struct FileGuard {
+  std::string path;
+  ~FileGuard() { std::remove(path.c_str()); }
+};
+
+TEST(TraceIo, BurstTraceRoundTrip) {
+  const auto& app = apps::find_app("lulesh");
+  const AppTrace original = apps::make_burst_trace(app, 8);
+  const std::string path = temp_path("musa_burst.trc");
+  FileGuard guard{path};
+
+  save_app_trace(original, path);
+  const AppTrace loaded = load_app_trace(path);
+
+  EXPECT_EQ(loaded.app_name, original.app_name);
+  ASSERT_EQ(loaded.ranks.size(), original.ranks.size());
+  for (std::size_t r = 0; r < original.ranks.size(); ++r) {
+    const auto& a = original.ranks[r].events;
+    const auto& b = loaded.ranks[r].events;
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].kind, b[i].kind);
+      if (a[i].kind == BurstEvent::Kind::kCompute) {
+        EXPECT_DOUBLE_EQ(a[i].seconds, b[i].seconds);
+        EXPECT_EQ(a[i].region_id, b[i].region_id);
+      } else {
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].peer, b[i].peer);
+        EXPECT_EQ(a[i].bytes, b[i].bytes);
+        EXPECT_EQ(a[i].req, b[i].req);
+      }
+    }
+  }
+}
+
+TEST(TraceIo, RegionRoundTrip) {
+  const auto& app = apps::find_app("btmz");  // has serial gates (deps)
+  const Region original = apps::make_region(app);
+  const std::string path = temp_path("musa_region.trc");
+  FileGuard guard{path};
+
+  save_region(original, path);
+  const Region loaded = load_region(path);
+
+  EXPECT_EQ(loaded.name, original.name);
+  ASSERT_EQ(loaded.tasks.size(), original.tasks.size());
+  for (std::size_t i = 0; i < original.tasks.size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.tasks[i].work, original.tasks[i].work);
+    EXPECT_EQ(loaded.tasks[i].deps, original.tasks[i].deps);
+    EXPECT_EQ(loaded.tasks[i].critical, original.tasks[i].critical);
+  }
+}
+
+TEST(TraceIo, InstrTraceSpoolsAndReplays) {
+  const auto& app = apps::find_app("hydro");
+  KernelSource source(app.kernel, 5000, 99);
+  const std::string path = temp_path("musa_instr.trc");
+  FileGuard guard{path};
+
+  const std::uint64_t written = spool_instr_trace(source, path);
+  EXPECT_GE(written, 5000u);
+
+  FileInstrSource replay(path);
+  EXPECT_EQ(replay.size(), written);
+
+  // Replays bit-identically against a fresh generator.
+  KernelSource reference(app.kernel, 5000, 99);
+  isa::Instr a, b;
+  std::uint64_t n = 0;
+  while (replay.next(a)) {
+    ASSERT_TRUE(reference.next(b));
+    EXPECT_EQ(a.addr, b.addr);
+    EXPECT_EQ(a.op, b.op);
+    EXPECT_EQ(a.static_id, b.static_id);
+    ++n;
+  }
+  EXPECT_EQ(n, written);
+
+  // reset() replays again.
+  replay.reset();
+  ASSERT_TRUE(replay.next(a));
+}
+
+TEST(TraceIo, SpoolRespectsLimit) {
+  const auto& app = apps::find_app("spmz");
+  KernelSource source(app.kernel, 100000, 1);
+  const std::string path = temp_path("musa_instr_lim.trc");
+  FileGuard guard{path};
+  EXPECT_EQ(spool_instr_trace(source, path, 1234), 1234u);
+  EXPECT_EQ(FileInstrSource(path).size(), 1234u);
+}
+
+TEST(TraceIo, DescribeIdentifiesAllFormats) {
+  const auto& app = apps::find_app("hydro");
+  const std::string p1 = temp_path("musa_d1.trc");
+  const std::string p2 = temp_path("musa_d2.trc");
+  const std::string p3 = temp_path("musa_d3.trc");
+  FileGuard g1{p1}, g2{p2}, g3{p3};
+  save_app_trace(apps::make_burst_trace(app, 4), p1);
+  save_region(apps::make_region(app), p2);
+  KernelSource src(app.kernel, 100, 1);
+  spool_instr_trace(src, p3);
+
+  EXPECT_NE(describe_trace_file(p1).find("burst trace"), std::string::npos);
+  EXPECT_NE(describe_trace_file(p1).find("ranks=4"), std::string::npos);
+  EXPECT_NE(describe_trace_file(p2).find("region"), std::string::npos);
+  EXPECT_NE(describe_trace_file(p3).find("instruction trace"),
+            std::string::npos);
+}
+
+TEST(TraceIo, RejectsWrongMagicAndTruncation) {
+  const std::string path = temp_path("musa_bad.trc");
+  FileGuard guard{path};
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a trace";
+  }
+  EXPECT_THROW(load_app_trace(path), SimError);
+  EXPECT_THROW(load_region(path), SimError);
+  EXPECT_THROW(FileInstrSource{path}, SimError);
+  EXPECT_THROW(describe_trace_file(path), SimError);
+
+  // Valid header but truncated body.
+  const auto& app = apps::find_app("hydro");
+  save_app_trace(apps::make_burst_trace(app, 4), path);
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_THROW(load_app_trace(path), SimError);
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_app_trace("/nonexistent/path.trc"), SimError);
+  EXPECT_THROW(save_region(Region{}, "/nonexistent/dir/x.trc"), SimError);
+}
+
+}  // namespace
+}  // namespace musa::trace

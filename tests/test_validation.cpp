@@ -1,0 +1,152 @@
+// Validation suite: closed-form analytic models cross-checking the
+// simulators, the stand-in for the paper's validation against MareNostrum
+// runs (DESIGN.md §2 — "first-principles unit validation").
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachesim/hierarchy.hpp"
+#include "common/rng.hpp"
+#include "cpusim/core_model.hpp"
+#include "cpusim/runtime.hpp"
+#include "dramsim/dram.hpp"
+#include "netsim/dimemas.hpp"
+#include "powersim/power.hpp"
+#include "trace/instr_source.hpp"
+#include "trace/kernel.hpp"
+
+namespace musa {
+namespace {
+
+// --- Roofline: a streaming kernel's throughput is bounded by min(compute,
+// bandwidth) and approaches the bandwidth roof when memory-intense. --------
+TEST(Validation, StreamingKernelHitsBandwidthRoof) {
+  trace::KernelProfile p;
+  p.scalar_tail = {.int_alu = 1, .loads = 4};  // ~0.8 loads/instr
+  p.streams = {{.share = 1.0, .ws_bytes = 1ull << 30, .stride = 64}};
+  cachesim::MemHierarchy h(cachesim::cache_32m_256k(1));
+  dramsim::DramSystem dram(dramsim::ddr4_2333(), 1);  // one channel roof
+  trace::KernelSource src(p, 60000);
+  cpusim::CoreModel core(cpusim::core_aggressive(), {2.0}, h, dram);
+  const cpusim::CoreStats s = core.run(src, {.vector_bits = 128});
+  const double achieved = s.dram_gbps({2.0});
+  const double roof = dram.peak_gbps();
+  EXPECT_GT(achieved, 0.5 * roof);   // streaming + prefetch nears the roof
+  EXPECT_LE(achieved, roof * 1.02);  // and cannot exceed it
+}
+
+// --- Amdahl: a region with serial fraction f saturates at 1/f. ------------
+TEST(Validation, AmdahlCeilingHolds) {
+  trace::Region r;
+  const int parallel_tasks = 90;
+  // 10% serial: a gate task after every 9 parallel tasks.
+  std::int32_t prev_gate = -1;
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    std::vector<std::int32_t> ids;
+    for (int i = 0; i < parallel_tasks / 10; ++i) {
+      trace::TaskInstance t;
+      t.work = 1.0;
+      if (prev_gate >= 0) t.deps.push_back(prev_gate);
+      ids.push_back(static_cast<std::int32_t>(r.tasks.size()));
+      r.tasks.push_back(t);
+    }
+    trace::TaskInstance gate;
+    gate.work = 1.0;
+    gate.deps = ids;
+    prev_gate = static_cast<std::int32_t>(r.tasks.size());
+    r.tasks.push_back(gate);
+  }
+  const std::vector<cpusim::TaskTiming> timing = {{.seconds_per_work = 1e-6}};
+  cpusim::RuntimeSim sim;
+  const double t1 =
+      sim.run(r, timing, {.cores = 1, .dispatch_overhead_s = 0}).seconds;
+  const double t64 =
+      sim.run(r, timing, {.cores = 64, .dispatch_overhead_s = 0}).seconds;
+  const double serial_frac = 10.0 / 100.0;
+  const double amdahl = 1.0 / (serial_frac + (1 - serial_frac) / 64.0);
+  EXPECT_LE(t1 / t64, amdahl * 1.01);
+  EXPECT_GT(t1 / t64, amdahl * 0.5);
+}
+
+// --- LogP-ish: allreduce time follows the 2·log2(P) tree formula. ---------
+TEST(Validation, AllreduceMatchesTreeModel) {
+  for (int P : {4, 32, 256}) {
+    trace::AppTrace t;
+    t.ranks.resize(P);
+    for (int r = 0; r < P; ++r) {
+      t.ranks[r].rank = r;
+      t.ranks[r].events.push_back(
+          trace::BurstEvent::mpi(trace::MpiOp::kAllreduce, -1, 256));
+    }
+    netsim::NetworkConfig net;
+    const double measured =
+        netsim::DimemasEngine(net).replay(t, {}).total_seconds;
+    int log2p = 0;
+    while ((1 << log2p) < P) ++log2p;
+    const double model = 2.0 * log2p * net.transfer_s(256);
+    EXPECT_NEAR(measured, model, model * 0.01) << "P=" << P;
+  }
+}
+
+// --- Dennard-style check: dynamic power ratio across the V/f curve. -------
+TEST(Validation, DynamicEnergyFollowsVSquared) {
+  const auto cfg = cpusim::core_medium();
+  const powersim::CorePower p15(cfg, 128, 1.5);
+  const powersim::CorePower p30(cfg, 128, 3.0);
+  const double e15 = p15.op_energy_j(isa::OpClass::kFpMul, 1);
+  const double e30 = p30.op_energy_j(isa::OpClass::kFpMul, 1);
+  // V(3.0)/V(1.5) = 1.05/0.75 = 1.4 -> energy ratio 1.96.
+  EXPECT_NEAR(e30 / e15, 1.96, 0.01);
+}
+
+// --- Little's law: in-flight misses = throughput x latency, bounded by
+// the ROB window. -----------------------------------------------------------
+TEST(Validation, MissThroughputBoundedByWindowOverLatency) {
+  // Random loads, 1 per 8 instructions; the lowend ROB of 40 holds at most
+  // 5 loads, so miss throughput <= 5 / avg_latency.
+  std::vector<isa::Instr> instrs;
+  Rng rng(31);
+  const int loads = 1500;
+  for (int i = 0; i < loads; ++i) {
+    isa::Instr ld;
+    ld.op = isa::OpClass::kLoad;
+    ld.dst = static_cast<std::uint8_t>(isa::kFpRegBase + (i % 12));
+    ld.addr = rng.next_below(1ull << 34) & ~63ull;
+    ld.size = 8;
+    instrs.push_back(ld);
+    for (int k = 0; k < 7; ++k) {
+      isa::Instr a;
+      a.op = isa::OpClass::kIntAlu;
+      a.dst = static_cast<std::uint8_t>(k % 8);
+      instrs.push_back(a);
+    }
+  }
+  cachesim::MemHierarchy h(cachesim::cache_32m_256k(1));
+  dramsim::DramSystem dram(dramsim::ddr4_2333(), 4);
+  trace::VectorSource src(std::move(instrs));
+  cpusim::CoreModel core(cpusim::core_low_end(), {2.0}, h, dram);
+  const cpusim::CoreStats s = core.run(src, {.vector_bits = 64});
+  const double cycles_per_load = s.cycles / loads;
+  // DRAM latency here is ~150-250 cycles; window 40/8 = 5 loads in flight
+  // means >= latency/5 cycles per load. Check the order of magnitude.
+  EXPECT_GT(cycles_per_load, 20.0);
+  EXPECT_LT(cycles_per_load, 400.0);
+}
+
+// --- DRAM refresh overhead: ~tRFC/tREFI of time is lost, few percent. -----
+TEST(Validation, RefreshOverheadIsFewPercent) {
+  const auto t = dramsim::ddr4_2333();
+  const double overhead = t.tRFC / t.tREFI;
+  EXPECT_GT(overhead, 0.02);
+  EXPECT_LT(overhead, 0.08);
+}
+
+// --- Energy accounting: node energy equals integral of components. --------
+TEST(Validation, EnergyEqualsPowerTimesTime) {
+  powersim::PowerBreakdown b{.core_l1_w = 120, .l2_l3_w = 25, .dram_w = 12};
+  const double duration = 3.5;
+  EXPECT_DOUBLE_EQ(b.total() * duration, (120 + 25 + 12) * 3.5);
+}
+
+}  // namespace
+}  // namespace musa

@@ -1,0 +1,171 @@
+// Tests for the OpenMP worksharing builders, plus property-based fuzzing of
+// the runtime scheduler over random task DAGs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "cpusim/runtime.hpp"
+#include "trace/worksharing.hpp"
+
+namespace musa::trace {
+namespace {
+
+const std::vector<cpusim::TaskTiming> kUnitTiming = {
+    {.seconds_per_work = 1e-6, .mem_stall_frac = 0.0, .dram_gbps = 0.0}};
+
+cpusim::RuntimeConfig team(int threads) {
+  return {.cores = threads, .dispatch_overhead_s = 0.0,
+          .bw_capacity_gbps = 0.0};
+}
+
+TEST(ParallelFor, StaticDefaultMakesOneChunkPerThread) {
+  const Region r = make_parallel_for(100, 8, OmpSchedule::kStatic);
+  ASSERT_EQ(r.tasks.size(), 8u);
+  EXPECT_DOUBLE_EQ(r.total_work(), 100.0);
+  // Remainder spread: chunks are 13 or 12 iterations.
+  for (const auto& t : r.tasks) {
+    EXPECT_GE(t.work, 12.0);
+    EXPECT_LE(t.work, 13.0);
+  }
+}
+
+TEST(ParallelFor, StaticChunkedSerializesPerThreadSlot) {
+  const Region r =
+      make_parallel_for(64, 4, OmpSchedule::kStatic, /*chunk=*/4);
+  EXPECT_EQ(r.tasks.size(), 16u);
+  // Chunks 0..3 have no deps (first per slot); later chunks chain.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(r.tasks[i].deps.empty());
+  for (std::size_t i = 4; i < r.tasks.size(); ++i) {
+    ASSERT_EQ(r.tasks[i].deps.size(), 1u);
+    EXPECT_EQ(r.tasks[i].deps[0], static_cast<std::int32_t>(i - 4));
+  }
+}
+
+TEST(ParallelFor, DynamicMakesFixedChunks) {
+  const Region r =
+      make_parallel_for(103, 8, OmpSchedule::kDynamic, /*chunk=*/10);
+  ASSERT_EQ(r.tasks.size(), 11u);  // 10 full + 1 tail of 3
+  EXPECT_DOUBLE_EQ(r.tasks.back().work, 3.0);
+  for (const auto& t : r.tasks) EXPECT_TRUE(t.deps.empty());
+}
+
+TEST(ParallelFor, GuidedChunksShrink) {
+  const Region r =
+      make_parallel_for(1000, 4, OmpSchedule::kGuided, /*chunk=*/16);
+  ASSERT_GT(r.tasks.size(), 4u);
+  // Non-increasing chunk sizes until the floor.
+  for (std::size_t i = 1; i < r.tasks.size(); ++i)
+    EXPECT_LE(r.tasks[i].work, r.tasks[i - 1].work + 1e-9);
+  EXPECT_DOUBLE_EQ(r.total_work(), 1000.0);
+}
+
+TEST(ParallelFor, IterationCostsSkewChunks) {
+  // Triangular cost: later iterations are pricier; static default chunks
+  // then carry unequal work — the load-imbalance OpenMP users know well.
+  const Region r = make_parallel_for(
+      100, 4, OmpSchedule::kStatic, 0,
+      [](std::int64_t i) { return static_cast<double>(i); });
+  ASSERT_EQ(r.tasks.size(), 4u);
+  EXPECT_LT(r.tasks.front().work, r.tasks.back().work);
+}
+
+TEST(ParallelFor, DynamicBeatsStaticOnSkewedLoops) {
+  const auto cost = [](std::int64_t i) {
+    return i < 90 ? 1.0 : 30.0;  // a few very expensive tail iterations
+  };
+  const Region stat = make_parallel_for(100, 4, OmpSchedule::kStatic, 0, cost);
+  const Region dyn =
+      make_parallel_for(100, 4, OmpSchedule::kDynamic, 2, cost);
+  cpusim::RuntimeSim sim;
+  const double t_static = sim.run(stat, kUnitTiming, team(4)).seconds;
+  const double t_dynamic = sim.run(dyn, kUnitTiming, team(4)).seconds;
+  EXPECT_LT(t_dynamic, t_static);
+}
+
+TEST(ParallelFor, RejectsDegenerateInput) {
+  EXPECT_THROW(make_parallel_for(0, 4, OmpSchedule::kStatic), SimError);
+  EXPECT_THROW(make_parallel_for(10, 0, OmpSchedule::kStatic), SimError);
+  EXPECT_THROW(make_parallel_for(10, 4, OmpSchedule::kDynamic, -1), SimError);
+}
+
+TEST(Critical, SectionsSerialize) {
+  Region r = make_parallel_for(8, 8, OmpSchedule::kStatic);
+  for (int i = 0; i < 4; ++i) add_critical(r, 1.0);
+  cpusim::RuntimeSim sim;
+  const auto out = sim.run(r, kUnitTiming, team(8));
+  // 1 unit of parallel work + 4 serialized critical units.
+  EXPECT_NEAR(out.seconds, 5e-6, 1e-7);
+}
+
+TEST(TaskTree, LeavesCarryTheWork) {
+  const Region r = make_task_tree(16, 2.0);
+  int leaves = 0;
+  for (const auto& t : r.tasks)
+    if (t.work == 2.0) ++leaves;
+  EXPECT_EQ(leaves, 16);
+  // Tree parallelises: 16 leaves on 16 cores ~ depth * split + leaf time.
+  cpusim::RuntimeSim sim;
+  const auto out = sim.run(r, kUnitTiming, team(16));
+  EXPECT_LT(out.seconds, 16 * 2e-6 / 4);  // far better than serial
+}
+
+TEST(TaskTree, SingleLeafIsOneTask) {
+  const Region r = make_task_tree(1, 3.0);
+  ASSERT_EQ(r.tasks.size(), 1u);
+  EXPECT_DOUBLE_EQ(r.tasks[0].work, 3.0);
+}
+
+// ---- Property-based fuzz: random DAGs through the scheduler --------------
+//
+// For any DAG and any core count, the makespan must satisfy the classic
+// list-scheduling bounds: at least max(critical path, total work / cores),
+// at most total work (+ the 2-approximation bound for safety margins).
+class DagFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DagFuzz, MakespanWithinListSchedulingBounds) {
+  Rng rng(GetParam());
+  Region region;
+  const int n = 20 + static_cast<int>(rng.next_below(120));
+  std::vector<double> path(n, 0.0);  // longest path ending at i (seconds)
+  double critical = 0.0, total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    TaskInstance t;
+    t.type = 0;
+    t.work = 0.5 + rng.next_double() * 4.0;
+    double longest = 0.0;
+    if (i > 0) {
+      const int deps = static_cast<int>(rng.next_below(3));
+      for (int d = 0; d < deps; ++d) {
+        const auto dep = static_cast<std::int32_t>(rng.next_below(i));
+        if (std::find(t.deps.begin(), t.deps.end(), dep) == t.deps.end()) {
+          t.deps.push_back(dep);
+          longest = std::max(longest, path[dep]);
+        }
+      }
+    }
+    path[i] = longest + t.work * 1e-6;
+    critical = std::max(critical, path[i]);
+    total += t.work * 1e-6;
+    region.tasks.push_back(std::move(t));
+  }
+
+  cpusim::RuntimeSim sim;
+  for (int cores : {1, 3, 8, 32}) {
+    const auto out = sim.run(region, kUnitTiming, team(cores));
+    const double lower = std::max(critical, total / cores);
+    EXPECT_GE(out.seconds, lower * 0.999) << "cores=" << cores;
+    EXPECT_LE(out.seconds, total * 1.001) << "cores=" << cores;
+    // Graham's bound for list scheduling: <= work/cores + critical path.
+    EXPECT_LE(out.seconds, total / cores + critical + 1e-12)
+        << "cores=" << cores;
+    EXPECT_NEAR(out.busy_seconds, total, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagFuzz,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace musa::trace

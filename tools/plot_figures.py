@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Render the paper's figure panels from the DSE result cache.
+
+Reads dse_cache.csv (produced by build/bench/run_dse) and emits, per swept
+dimension, the normalised speed-up / power / energy series as CSV files
+ready for any plotting tool, plus quick ASCII bar charts on stdout.
+
+Usage:
+  tools/plot_figures.py [--cache dse_cache.csv] [--out figures/]
+"""
+import argparse
+import collections
+import csv
+import os
+import sys
+
+APPS = ["hydro", "spmz", "btmz", "spec3d", "lulesh"]
+DIMENSIONS = {
+    "fig5_vector": ("vector_bits", ["128", "256", "512"]),
+    "fig6_cache": ("cache", ["32M:256K", "64M:512K", "96M:1M"]),
+    "fig7_ooo": ("core", ["aggressive", "lowend", "high", "medium"]),
+    "fig8_channels": ("channels", ["4", "8"]),
+    "fig9_freq": ("freq_ghz", ["1.5", "2", "2.5", "3"]),
+}
+DIM_COLUMNS = ["core", "cache", "freq_ghz", "vector_bits", "channels",
+               "tech", "cores"]
+
+
+def load_rows(path):
+    with open(path, newline="") as f:
+        return list(csv.DictReader(f))
+
+
+def key_without(row, dim):
+    return tuple(row[c] if c != dim else "*" for c in DIM_COLUMNS)
+
+
+def normalised(rows, app, cores, dim, value, baseline, metric):
+    base = {}
+    for r in rows:
+        if r["app"] != app or r["cores"] != cores or r[dim] != baseline:
+            continue
+        base[key_without(r, dim)] = metric(r)
+    ratios = []
+    for r in rows:
+        if r["app"] != app or r["cores"] != cores or r[dim] != value:
+            continue
+        b = base.get(key_without(r, dim))
+        if b:
+            ratios.append(metric(r) / b)
+    return sum(ratios) / len(ratios) if ratios else float("nan")
+
+
+def bar(value, scale=30.0):
+    n = max(0, int(round(value * scale / 2.0)))
+    return "#" * n
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--cache", default="dse_cache.csv")
+    ap.add_argument("--out", default="figures")
+    ap.add_argument("--cores", default="64")
+    args = ap.parse_args()
+
+    if not os.path.exists(args.cache):
+        sys.exit(f"{args.cache} not found — run build/bench/run_dse first")
+    rows = load_rows(args.cache)
+    os.makedirs(args.out, exist_ok=True)
+
+    region = lambda r: float(r["region_s"])
+    power = lambda r: float(r["node_w"])
+    energy = lambda r: float(r["region_s"]) * float(r["node_w"])
+
+    for name, (dim, values) in DIMENSIONS.items():
+        baseline = values[0]
+        out_path = os.path.join(args.out, f"{name}.csv")
+        with open(out_path, "w", newline="") as f:
+            w = csv.writer(f)
+            w.writerow(["app"] + [f"speedup_{v}" for v in values] +
+                       [f"power_{v}" for v in values] +
+                       [f"energy_{v}" for v in values])
+            print(f"\n== {name} (normalised to {dim}={baseline}, "
+                  f"{args.cores} cores) ==")
+            for app in APPS:
+                speed = [1.0 / normalised(rows, app, args.cores, dim, v,
+                                          baseline, region) for v in values]
+                pw = [normalised(rows, app, args.cores, dim, v, baseline,
+                                 power) for v in values]
+                en = [normalised(rows, app, args.cores, dim, v, baseline,
+                                 energy) for v in values]
+                w.writerow([app] + [f"{x:.4f}" for x in speed + pw + en])
+                series = "  ".join(f"{v}:{s:.2f} {bar(s)}"
+                                   for v, s in zip(values, speed))
+                print(f"  {app:<8} {series}")
+        print(f"  -> {out_path}")
+
+    print("\nDone. CSVs are gnuplot/matplotlib-ready.")
+
+
+if __name__ == "__main__":
+    main()
