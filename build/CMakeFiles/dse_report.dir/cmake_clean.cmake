@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_report.dir/bench/dse_report.cpp.o"
+  "CMakeFiles/dse_report.dir/bench/dse_report.cpp.o.d"
+  "bench/dse_report"
+  "bench/dse_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_pca.dir/bench/fig10_pca.cpp.o"
+  "CMakeFiles/fig10_pca.dir/bench/fig10_pca.cpp.o.d"
+  "bench/fig10_pca"
+  "bench/fig10_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

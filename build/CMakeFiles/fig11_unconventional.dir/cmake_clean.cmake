@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_unconventional.dir/bench/fig11_unconventional.cpp.o"
+  "CMakeFiles/fig11_unconventional.dir/bench/fig11_unconventional.cpp.o.d"
+  "bench/fig11_unconventional"
+  "bench/fig11_unconventional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_unconventional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

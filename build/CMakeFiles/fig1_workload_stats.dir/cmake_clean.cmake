@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_workload_stats.dir/bench/fig1_workload_stats.cpp.o"
+  "CMakeFiles/fig1_workload_stats.dir/bench/fig1_workload_stats.cpp.o.d"
+  "bench/fig1_workload_stats"
+  "bench/fig1_workload_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_workload_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_fig4_timelines.dir/bench/fig3_fig4_timelines.cpp.o"
+  "CMakeFiles/fig3_fig4_timelines.dir/bench/fig3_fig4_timelines.cpp.o.d"
+  "bench/fig3_fig4_timelines"
+  "bench/fig3_fig4_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_fig4_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

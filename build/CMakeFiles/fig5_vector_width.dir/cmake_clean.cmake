@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_vector_width.dir/bench/fig5_vector_width.cpp.o"
+  "CMakeFiles/fig5_vector_width.dir/bench/fig5_vector_width.cpp.o.d"
+  "bench/fig5_vector_width"
+  "bench/fig5_vector_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_vector_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_cache_size.dir/bench/fig6_cache_size.cpp.o"
+  "CMakeFiles/fig6_cache_size.dir/bench/fig6_cache_size.cpp.o.d"
+  "bench/fig6_cache_size"
+  "bench/fig6_cache_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_cache_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_ooo.dir/bench/fig7_ooo.cpp.o"
+  "CMakeFiles/fig7_ooo.dir/bench/fig7_ooo.cpp.o.d"
+  "bench/fig7_ooo"
+  "bench/fig7_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_mem_channels.dir/bench/fig8_mem_channels.cpp.o"
+  "CMakeFiles/fig8_mem_channels.dir/bench/fig8_mem_channels.cpp.o.d"
+  "bench/fig8_mem_channels"
+  "bench/fig8_mem_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_mem_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_frequency.dir/bench/fig9_frequency.cpp.o"
+  "CMakeFiles/fig9_frequency.dir/bench/fig9_frequency.cpp.o.d"
+  "bench/fig9_frequency"
+  "bench/fig9_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/power_report.cpp" "CMakeFiles/power_report.dir/bench/power_report.cpp.o" "gcc" "CMakeFiles/power_report.dir/bench/power_report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/musa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/powersim/CMakeFiles/musa_powersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/musa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/musa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/musa_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/musa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/musa_dramsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/musa_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/musa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/musa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/musa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_report.dir/bench/power_report.cpp.o"
+  "CMakeFiles/power_report.dir/bench/power_report.cpp.o.d"
+  "bench/power_report"
+  "bench/power_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_dse.dir/bench/run_dse.cpp.o"
+  "CMakeFiles/run_dse.dir/bench/run_dse.cpp.o.d"
+  "bench/run_dse"
+  "bench/run_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiphase_app.dir/multiphase_app.cpp.o"
+  "CMakeFiles/multiphase_app.dir/multiphase_app.cpp.o.d"
+  "multiphase_app"
+  "multiphase_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiphase_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for multiphase_app.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_cli.dir/musa_cli.cpp.o"
+  "CMakeFiles/musa_cli.dir/musa_cli.cpp.o.d"
+  "musa_cli"
+  "musa_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/pareto.cpp" "src/analysis/CMakeFiles/musa_analysis.dir/pareto.cpp.o" "gcc" "src/analysis/CMakeFiles/musa_analysis.dir/pareto.cpp.o.d"
+  "/root/repo/src/analysis/pca.cpp" "src/analysis/CMakeFiles/musa_analysis.dir/pca.cpp.o" "gcc" "src/analysis/CMakeFiles/musa_analysis.dir/pca.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/musa_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/musa_analysis.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/musa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/musa_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/musa_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/musa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/musa_dramsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/musa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/musa_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_analysis.dir/pareto.cpp.o"
+  "CMakeFiles/musa_analysis.dir/pareto.cpp.o.d"
+  "CMakeFiles/musa_analysis.dir/pca.cpp.o"
+  "CMakeFiles/musa_analysis.dir/pca.cpp.o.d"
+  "CMakeFiles/musa_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/musa_analysis.dir/timeline.cpp.o.d"
+  "libmusa_analysis.a"
+  "libmusa_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

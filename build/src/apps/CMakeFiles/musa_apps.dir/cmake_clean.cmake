@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_apps.dir/apps.cpp.o"
+  "CMakeFiles/musa_apps.dir/apps.cpp.o.d"
+  "libmusa_apps.a"
+  "libmusa_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

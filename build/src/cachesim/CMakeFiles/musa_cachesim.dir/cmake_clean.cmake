@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/musa_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/musa_cachesim.dir/hierarchy.cpp.o"
+  "CMakeFiles/musa_cachesim.dir/hierarchy.cpp.o.d"
+  "libmusa_cachesim.a"
+  "libmusa_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_common.dir/csv.cpp.o"
+  "CMakeFiles/musa_common.dir/csv.cpp.o.d"
+  "CMakeFiles/musa_common.dir/parallel.cpp.o"
+  "CMakeFiles/musa_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/musa_common.dir/stats.cpp.o"
+  "CMakeFiles/musa_common.dir/stats.cpp.o.d"
+  "CMakeFiles/musa_common.dir/table.cpp.o"
+  "CMakeFiles/musa_common.dir/table.cpp.o.d"
+  "libmusa_common.a"
+  "libmusa_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmusa_common.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_core.dir/config_space.cpp.o"
+  "CMakeFiles/musa_core.dir/config_space.cpp.o.d"
+  "CMakeFiles/musa_core.dir/dse.cpp.o"
+  "CMakeFiles/musa_core.dir/dse.cpp.o.d"
+  "CMakeFiles/musa_core.dir/pipeline.cpp.o"
+  "CMakeFiles/musa_core.dir/pipeline.cpp.o.d"
+  "libmusa_core.a"
+  "libmusa_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

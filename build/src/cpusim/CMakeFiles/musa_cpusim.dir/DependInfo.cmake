@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpusim/core_model.cpp" "src/cpusim/CMakeFiles/musa_cpusim.dir/core_model.cpp.o" "gcc" "src/cpusim/CMakeFiles/musa_cpusim.dir/core_model.cpp.o.d"
+  "/root/repo/src/cpusim/node_detailed.cpp" "src/cpusim/CMakeFiles/musa_cpusim.dir/node_detailed.cpp.o" "gcc" "src/cpusim/CMakeFiles/musa_cpusim.dir/node_detailed.cpp.o.d"
+  "/root/repo/src/cpusim/runtime.cpp" "src/cpusim/CMakeFiles/musa_cpusim.dir/runtime.cpp.o" "gcc" "src/cpusim/CMakeFiles/musa_cpusim.dir/runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/musa_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/musa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/musa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/musa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/musa_dramsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

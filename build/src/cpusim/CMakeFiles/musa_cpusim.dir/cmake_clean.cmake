@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_cpusim.dir/core_model.cpp.o"
+  "CMakeFiles/musa_cpusim.dir/core_model.cpp.o.d"
+  "CMakeFiles/musa_cpusim.dir/node_detailed.cpp.o"
+  "CMakeFiles/musa_cpusim.dir/node_detailed.cpp.o.d"
+  "CMakeFiles/musa_cpusim.dir/runtime.cpp.o"
+  "CMakeFiles/musa_cpusim.dir/runtime.cpp.o.d"
+  "libmusa_cpusim.a"
+  "libmusa_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_dramsim.dir/dram.cpp.o"
+  "CMakeFiles/musa_dramsim.dir/dram.cpp.o.d"
+  "libmusa_dramsim.a"
+  "libmusa_dramsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_dramsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

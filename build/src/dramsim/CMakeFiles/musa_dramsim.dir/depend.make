@@ -1,0 +1,2 @@
+# Empty dependencies file for musa_dramsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_isa.dir/vector_fusion.cpp.o"
+  "CMakeFiles/musa_isa.dir/vector_fusion.cpp.o.d"
+  "libmusa_isa.a"
+  "libmusa_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

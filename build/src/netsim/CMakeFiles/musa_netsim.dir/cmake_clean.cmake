@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_netsim.dir/dimemas.cpp.o"
+  "CMakeFiles/musa_netsim.dir/dimemas.cpp.o.d"
+  "CMakeFiles/musa_netsim.dir/topology.cpp.o"
+  "CMakeFiles/musa_netsim.dir/topology.cpp.o.d"
+  "libmusa_netsim.a"
+  "libmusa_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

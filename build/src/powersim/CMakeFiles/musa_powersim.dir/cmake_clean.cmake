@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_powersim.dir/power.cpp.o"
+  "CMakeFiles/musa_powersim.dir/power.cpp.o.d"
+  "libmusa_powersim.a"
+  "libmusa_powersim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_powersim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/musa_trace.dir/kernel.cpp.o"
+  "CMakeFiles/musa_trace.dir/kernel.cpp.o.d"
+  "CMakeFiles/musa_trace.dir/trace_io.cpp.o"
+  "CMakeFiles/musa_trace.dir/trace_io.cpp.o.d"
+  "CMakeFiles/musa_trace.dir/worksharing.cpp.o"
+  "CMakeFiles/musa_trace.dir/worksharing.cpp.o.d"
+  "libmusa_trace.a"
+  "libmusa_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/musa_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

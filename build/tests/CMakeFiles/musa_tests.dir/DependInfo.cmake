@@ -1,0 +1,47 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/musa_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_apps.cpp" "tests/CMakeFiles/musa_tests.dir/test_apps.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_apps.cpp.o.d"
+  "/root/repo/tests/test_cachesim.cpp" "tests/CMakeFiles/musa_tests.dir/test_cachesim.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_cachesim.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/musa_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/musa_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_cpusim_core.cpp" "tests/CMakeFiles/musa_tests.dir/test_cpusim_core.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_cpusim_core.cpp.o.d"
+  "/root/repo/tests/test_cpusim_runtime.cpp" "tests/CMakeFiles/musa_tests.dir/test_cpusim_runtime.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_cpusim_runtime.cpp.o.d"
+  "/root/repo/tests/test_dramsim.cpp" "tests/CMakeFiles/musa_tests.dir/test_dramsim.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_dramsim.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/musa_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/musa_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_netsim.cpp" "tests/CMakeFiles/musa_tests.dir/test_netsim.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_netsim.cpp.o.d"
+  "/root/repo/tests/test_node_detailed.cpp" "tests/CMakeFiles/musa_tests.dir/test_node_detailed.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_node_detailed.cpp.o.d"
+  "/root/repo/tests/test_powersim.cpp" "tests/CMakeFiles/musa_tests.dir/test_powersim.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_powersim.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/musa_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/musa_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_trace_io.cpp" "tests/CMakeFiles/musa_tests.dir/test_trace_io.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_trace_io.cpp.o.d"
+  "/root/repo/tests/test_validation.cpp" "tests/CMakeFiles/musa_tests.dir/test_validation.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_validation.cpp.o.d"
+  "/root/repo/tests/test_worksharing.cpp" "tests/CMakeFiles/musa_tests.dir/test_worksharing.cpp.o" "gcc" "tests/CMakeFiles/musa_tests.dir/test_worksharing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/musa_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/powersim/CMakeFiles/musa_powersim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/musa_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/musa_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/musa_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/musa_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dramsim/CMakeFiles/musa_dramsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/musa_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/musa_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/musa_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/musa_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
