@@ -1,24 +1,106 @@
-// Runs (or refreshes) the full 864-configuration × 5-application design
-// space sweep and writes the shared result cache consumed by the figure
-// benches. Pass --force to discard an existing cache.
+// Runs (or resumes) the full 864-configuration × 5-application design space
+// sweep and writes the shared result cache consumed by the figure benches.
+//
+// The sweep is crash-safe: every completed point is fsync'd to an
+// append-only journal next to the cache, so a killed run resumes exactly
+// where it stopped. It is also shardable across processes or machines:
+//
+//   run_dse --shard 0/2 &        # each shard owns every 2nd point
+//   run_dse --shard 1/2 &        # (run anywhere sharing the cache dir)
+//   wait; run_dse                # merges the journals into the cache
+//
+// Usage: run_dse [--force] [--shard i/N]
+//   --force      discard the cache and all journals, then sweep from scratch
+//   --shard i/N  compute only points with index % N == i (0 <= i < N)
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "common/progress.hpp"
 #include "fig_common.hpp"
+
+namespace {
+
+bool parse_shard(const char* spec, musa::core::SweepOptions* opts) {
+  int i = 0, n = 0;
+  if (std::sscanf(spec, "%d/%d", &i, &n) != 2 || n < 1 || i < 0 || i >= n)
+    return false;
+  opts->shard_index = i;
+  opts->shard_count = n;
+  return true;
+}
+
+void print_report(const musa::core::SweepReport& rep) {
+  std::printf("sweep report: %llu total, %llu in shard, %llu resumed, "
+              "%llu computed%s\n",
+              static_cast<unsigned long long>(rep.total),
+              static_cast<unsigned long long>(rep.shard_points),
+              static_cast<unsigned long long>(rep.resumed),
+              static_cast<unsigned long long>(rep.computed),
+              rep.finalized ? ", cache finalized" : "");
+  if (rep.dropped > 0)
+    std::printf("  recovered from crash damage: %llu corrupt journal "
+                "record(s) dropped and recomputed\n",
+                static_cast<unsigned long long>(rep.dropped));
+  const musa::core::StageTimes& st = rep.stages;
+  if (st.points > 0) {
+    std::printf("stage breakdown over %llu simulated points "
+                "(%s total compute):\n",
+                static_cast<unsigned long long>(st.points),
+                musa::format_duration(st.total_s()).c_str());
+    const auto line = [&](const char* name, double s) {
+      std::printf("  %-12s %8.2fs  (%5.1f%%)\n", name, s,
+                  st.total_s() > 0 ? 100.0 * s / st.total_s() : 0.0);
+    };
+    line("burst", st.burst_s);
+    line("kernel sim", st.kernel_s);
+    line("MPI replay", st.replay_s);
+    line("power", st.power_s);
+  }
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace musa;
-  const bool force = argc > 1 && std::strcmp(argv[1], "--force") == 0;
+  bool force = false;
+  core::SweepOptions opts;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--force") == 0) {
+      force = true;
+    } else if (std::strcmp(argv[a], "--shard") == 0 && a + 1 < argc) {
+      if (!parse_shard(argv[++a], &opts)) {
+        std::fprintf(stderr, "bad --shard spec (want i/N with 0 <= i < N)\n");
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "usage: run_dse [--force] [--shard i/N]\n");
+      return 2;
+    }
+  }
 
   core::Pipeline pipeline;
-  core::DseEngine dse(pipeline, bench::dse_cache_path());
+  if (opts.shard_count > 1 && bench::dse_cache_path().empty()) {
+    std::fprintf(stderr,
+                 "--shard needs a cache path to merge journals into; "
+                 "set MUSA_DSE_CACHE\n");
+    return 2;
+  }
+  core::DseEngine dse(pipeline, bench::dse_cache_path(), opts);
 
   std::printf("MUSA-DSE full sweep (864 configs x 5 apps = 4320 points)\n");
   std::printf("cache file: %s\n", bench::dse_cache_path().c_str());
-  if (force) {
-    dse.recompute();
+  if (opts.shard_count > 1)
+    std::printf("shard %d of %d\n", opts.shard_index, opts.shard_count);
+
+  const core::SweepReport rep = dse.sweep(force);
+  print_report(rep);
+  if (!rep.finalized) {
+    std::printf("shard journal written; rerun (any shard spec, or none) "
+                "once every shard has finished to merge the cache\n");
+    return 0;
   }
+
   const auto& results = dse.results();
   std::printf("sweep complete: %zu simulation results available\n",
               results.size());

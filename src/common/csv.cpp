@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/fsio.hpp"
 
 namespace musa {
 
@@ -37,6 +38,12 @@ std::size_t CsvDoc::column(const std::string& name) const {
 void CsvDoc::add_row(std::vector<std::string> row) {
   MUSA_CHECK_MSG(row.size() == header_.size(),
                  "CSV row width mismatches header");
+  // This writer has no quoting layer, so a cell holding a delimiter would
+  // serialise fine and then desync every column on reload. Reject at
+  // insertion, where the offending value is still attributable.
+  for (const auto& cell : row)
+    MUSA_CHECK_MSG(cell.find_first_of(",\n\r") == std::string::npos,
+                   "CSV cell contains a delimiter: \"" + cell + "\"");
   rows_.push_back(std::move(row));
 }
 
@@ -74,9 +81,9 @@ CsvDoc CsvDoc::parse(const std::string& text) {
 }
 
 void CsvDoc::save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  MUSA_CHECK_MSG(out.good(), "cannot open CSV for writing: " + path);
-  out << str();
+  // Atomic replace: a crash mid-save must leave the previous file intact,
+  // never a truncated CSV that later parses cleanly (tmp + fsync + rename).
+  atomic_write_file(path, str());
 }
 
 CsvDoc CsvDoc::load(const std::string& path) {
@@ -89,6 +96,29 @@ CsvDoc CsvDoc::load(const std::string& path) {
 
 bool CsvDoc::file_exists(const std::string& path) {
   return std::ifstream(path).good();
+}
+
+CsvDoc CsvDoc::load_tolerant(const std::string& path, std::size_t* dropped) {
+  std::ifstream in(path);
+  if (!in.good()) throw SimError("cannot open CSV for reading: " + path);
+  CsvDoc doc;
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto cells = split_line(line);
+    if (!have_header) {
+      doc.header_ = std::move(cells);
+      have_header = true;
+    } else if (cells.size() == doc.header_.size()) {
+      doc.rows_.push_back(std::move(cells));
+    } else if (dropped) {
+      ++*dropped;
+    }
+  }
+  MUSA_CHECK_MSG(have_header && !doc.header_.empty(),
+                 "CSV file has no header row: " + path);
+  return doc;
 }
 
 }  // namespace musa

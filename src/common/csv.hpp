@@ -1,6 +1,9 @@
 // Minimal CSV reader/writer used by the DSE engine's on-disk result cache.
 // Values never contain commas or quotes (all fields are identifiers or
-// numbers), so no quoting/escaping layer is needed.
+// numbers), so no quoting/escaping layer is needed; add_row() enforces that
+// invariant, rejecting cells that hold a delimiter. save() replaces the
+// target atomically (tmp + fsync + rename) so an interrupted write cannot
+// leave a truncated file that later parses cleanly.
 #pragma once
 
 #include <string>
@@ -20,6 +23,8 @@ class CsvDoc {
   /// Index of a header column; throws SimError if absent.
   std::size_t column(const std::string& name) const;
 
+  /// Appends one row; throws SimError on width mismatch or on a cell that
+  /// contains a CSV delimiter (',', newline).
   void add_row(std::vector<std::string> row);
 
   /// Serialise to CSV text / parse from CSV text.
@@ -30,6 +35,12 @@ class CsvDoc {
   void save(const std::string& path) const;
   static CsvDoc load(const std::string& path);
   static bool file_exists(const std::string& path);
+
+  /// Like load(), but rows whose width mismatches the header are skipped
+  /// (counted into *dropped) instead of aborting the whole parse — for
+  /// salvaging crash-truncated files. Still throws if the file is
+  /// unreadable or the header line is empty.
+  static CsvDoc load_tolerant(const std::string& path, std::size_t* dropped);
 
  private:
   std::vector<std::string> header_;

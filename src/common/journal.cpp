@@ -1,0 +1,182 @@
+#include "common/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/fsio.hpp"
+
+namespace musa {
+
+namespace {
+
+constexpr const char* kMagic = "musa-journal v1";
+
+std::string join(const std::vector<std::string>& cells, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out.push_back(sep);
+    out += cells[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : s) {
+    if (ch == sep) {
+      out.push_back(cur);
+      cur.clear();
+    } else if (ch != '\r') {
+      cur.push_back(ch);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string record_line(const std::string& key,
+                        const std::vector<std::string>& cells) {
+  const std::string payload = key + '\t' + join(cells, ',');
+  return payload + '\t' + hex64(fnv1a64(payload)) + '\n';
+}
+
+bool line_clean(const std::string& s) {
+  return s.find_first_of("\t\n\r") == std::string::npos;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& data) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ResultJournal::LoadResult ResultJournal::read(
+    const std::string& path, const std::vector<std::string>& header) {
+  LoadResult out;
+  std::ifstream in(path);
+  if (!in.good()) return out;
+
+  std::string line;
+  if (!std::getline(in, line) || split(line, '\t')[0] != kMagic) {
+    out.schema_mismatch = true;
+    return out;
+  }
+  if (!std::getline(in, line) || split(line, ',') != header) {
+    out.schema_mismatch = true;
+    return out;
+  }
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> parts = split(line, '\t');
+    if (parts.size() != 3) {
+      ++out.dropped;
+      continue;
+    }
+    const std::string payload = parts[0] + '\t' + parts[1];
+    if (hex64(fnv1a64(payload)) != parts[2]) {
+      ++out.dropped;
+      continue;
+    }
+    std::vector<std::string> cells = split(parts[1], ',');
+    if (cells.size() != header.size()) {
+      ++out.dropped;
+      continue;
+    }
+    out.entries[parts[0]] = std::move(cells);
+  }
+  // A file that ends without a final newline has a truncated tail record;
+  // the checksum (or part count) already rejected it above.
+  return out;
+}
+
+ResultJournal::ResultJournal(std::string path, std::vector<std::string> header)
+    : path_(std::move(path)), header_(std::move(header)) {
+  MUSA_CHECK_MSG(!header_.empty(), "journal header must be non-empty");
+  for (const auto& col : header_)
+    MUSA_CHECK_MSG(line_clean(col) && col.find(',') == std::string::npos,
+                   "journal header cell contains a delimiter: " + col);
+
+  LoadResult loaded = read(path_, header_);
+  if (loaded.schema_mismatch) {
+    std::fprintf(stderr,
+                 "[journal] %s: schema mismatch, starting a fresh journal\n",
+                 path_.c_str());
+    loaded = LoadResult{};
+  }
+  entries_ = std::move(loaded.entries);
+  dropped_ = loaded.dropped;
+
+  // Compact: rewrite only the valid records so a corrupt tail from a crash
+  // (or a stale-schema file) cannot collide with the next append.
+  std::string text = std::string(kMagic) + '\n' + join(header_, ',') + '\n';
+  for (const auto& [key, cells] : entries_) text += record_line(key, cells);
+  atomic_write_file(path_, text);
+  out_ = std::make_unique<DurableAppender>(path_);
+}
+
+ResultJournal::~ResultJournal() = default;
+
+void ResultJournal::append(const std::string& key,
+                           const std::vector<std::string>& row) {
+  MUSA_CHECK_MSG(line_clean(key), "journal key contains a delimiter: " + key);
+  MUSA_CHECK_MSG(row.size() == header_.size(),
+                 "journal record width mismatches header");
+  for (const auto& cell : row)
+    MUSA_CHECK_MSG(line_clean(cell) && cell.find(',') == std::string::npos,
+                   "journal cell contains a delimiter: " + cell);
+  const std::string line = record_line(key, row);
+  std::lock_guard<std::mutex> lock(mu_);
+  MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
+  out_->append(line);
+  entries_[key] = row;
+}
+
+void ResultJournal::discard() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (out_) {
+    out_->close();
+    out_.reset();
+  }
+  std::remove(path_.c_str());
+}
+
+std::vector<std::string> find_journals(const std::string& artifact_path) {
+  namespace fs = std::filesystem;
+  const fs::path artifact(artifact_path);
+  const fs::path dir =
+      artifact.has_parent_path() ? artifact.parent_path() : fs::path(".");
+  const std::string prefix = artifact.filename().string() + ".";
+  const std::string suffix = ".journal";
+
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < prefix.size() + suffix.size() - 1) continue;
+    if (name.compare(0, prefix.size(), prefix) != 0) continue;
+    if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0)
+      continue;
+    out.push_back((dir / name).string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace musa

@@ -1,0 +1,93 @@
+// Crash-safe, append-only result journal for long-running sweeps.
+//
+// A journal is a sidecar file next to a final CSV artifact. Every completed
+// sweep point appends one checksummed record that is flushed and fsync'd
+// before the writer moves on, so a killed process loses at most the point it
+// was simulating. On load, records with a bad checksum, wrong width, or a
+// truncated tail are dropped (and counted) — never silently accepted — and
+// the sweep recomputes exactly those points.
+//
+// File layout (plain text):
+//
+//   musa-journal v1
+//   <header cells joined by ','>
+//   <key> \t <cells joined by ','> \t <fnv1a-64 hex of "key\tcells">
+//   ...
+//
+// The two header lines pin the schema: a journal written for a different
+// column set is discarded wholesale instead of being misinterpreted. Keys
+// identify a sweep point (e.g. "app|config-id"); a duplicate key keeps the
+// last record, so re-running a point is idempotent.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace musa {
+
+/// FNV-1a 64-bit hash — the journal's per-record integrity check.
+std::uint64_t fnv1a64(const std::string& data);
+
+class ResultJournal {
+ public:
+  using Entries = std::unordered_map<std::string, std::vector<std::string>>;
+
+  /// Result of scanning a journal file without opening it for writing.
+  struct LoadResult {
+    Entries entries;                // valid records, last write per key wins
+    std::size_t dropped = 0;        // corrupt/truncated records discarded
+    bool schema_mismatch = false;   // header lines did not match `header`
+  };
+
+  /// Parses an existing journal file; a missing file yields an empty result.
+  static LoadResult read(const std::string& path,
+                         const std::vector<std::string>& header);
+
+  /// Opens `path` for appending, first loading every valid record. A
+  /// schema-mismatched journal is replaced by an empty one; a journal with a
+  /// corrupt tail is compacted (rewritten atomically with only the valid
+  /// records) so subsequent appends start on a clean line boundary.
+  ResultJournal(std::string path, std::vector<std::string> header);
+  ~ResultJournal();
+
+  ResultJournal(const ResultJournal&) = delete;
+  ResultJournal& operator=(const ResultJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+  const Entries& entries() const { return entries_; }
+  bool contains(const std::string& key) const {
+    return entries_.count(key) != 0;
+  }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Records dropped while loading (corruption from a previous crash).
+  std::size_t dropped_on_load() const { return dropped_; }
+
+  /// Appends one record and fsyncs it before returning. Thread-safe. The
+  /// key must be line-clean (no tab/newline); cells must be CSV-clean.
+  void append(const std::string& key, const std::vector<std::string>& row);
+
+  /// Closes the append handle and deletes the journal file (after the final
+  /// artifact has been atomically written).
+  void discard();
+
+ private:
+  std::string path_;
+  std::vector<std::string> header_;
+  Entries entries_;
+  std::size_t dropped_ = 0;
+  std::unique_ptr<class DurableAppender> out_;
+  std::mutex mu_;
+};
+
+/// Every journal that belongs to `artifact_path`, i.e. files named
+/// "<artifact>.journal" or "<artifact>.<anything>.journal" in the same
+/// directory (shard journals use "<artifact>.shard-i-of-N.journal").
+/// Sorted for deterministic merge order.
+std::vector<std::string> find_journals(const std::string& artifact_path);
+
+}  // namespace musa

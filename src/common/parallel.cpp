@@ -52,6 +52,55 @@ void parallel_blocks(
   if (first_error) std::rethrow_exception(first_error);
 }
 
+WorkQueue::WorkQueue(std::uint64_t n, std::uint64_t chunk)
+    : n_(n), chunk_(chunk) {
+  MUSA_CHECK_MSG(chunk >= 1, "work-queue chunk must be >= 1");
+}
+
+bool WorkQueue::next(std::uint64_t& begin, std::uint64_t& end) {
+  const std::uint64_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
+  if (b >= n_) return false;
+  begin = b;
+  end = std::min(n_, b + chunk_);
+  return true;
+}
+
+void parallel_workers(int threads, const std::function<void(int)>& fn) {
+  MUSA_CHECK_MSG(threads >= 0, "negative thread count");
+  const int workers = std::max(1, threads);
+  if (workers == 1) {
+    fn(0);
+    return;
+  }
+  std::exception_ptr first_error;
+  std::atomic_flag error_latch = ATOMIC_FLAG_INIT;
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (int w = 0; w < workers; ++w)
+    pool.emplace_back([&, w] {
+      try {
+        fn(w);
+      } catch (...) {
+        if (!error_latch.test_and_set()) first_error = std::current_exception();
+      }
+    });
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_dynamic(std::uint64_t n, int threads, std::uint64_t chunk,
+                      const std::function<void(std::uint64_t)>& fn) {
+  if (n == 0) return;
+  WorkQueue queue(n, chunk);
+  const int workers =
+      static_cast<int>(std::clamp<std::uint64_t>(std::max(1, threads), 1, n));
+  parallel_workers(workers, [&](int) {
+    std::uint64_t begin = 0, end = 0;
+    while (queue.next(begin, end))
+      for (std::uint64_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
 void parallel_for(std::uint64_t n, int threads,
                   const std::function<void(std::uint64_t)>& fn) {
   parallel_blocks(n, threads, [&](std::uint64_t begin, std::uint64_t end) {

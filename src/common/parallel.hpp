@@ -1,7 +1,11 @@
-// Minimal deterministic work-sharing helper for embarrassingly parallel
-// sweeps (the DSE engine's 4320 independent simulations).
+// Work-sharing helpers for embarrassingly parallel sweeps (the DSE
+// engine's 4320 independent simulations): static block partitioning for
+// uniform work, and a dynamic chunk-stealing queue for skewed work, where
+// per-item cost varies >10x and static blocks leave threads idle at the
+// tail.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -23,5 +27,36 @@ void parallel_for(std::uint64_t n, int threads,
 /// instance, an accumulator) exactly once per thread.
 void parallel_blocks(std::uint64_t n, int threads,
                      const std::function<void(std::uint64_t, std::uint64_t)>& fn);
+
+/// Thread-safe dispenser of index chunks for dynamic work sharing: each
+/// next() hands out the next `chunk`-sized range [begin, end) until the
+/// space [0, n) is exhausted. Fast workers simply come back for more, so a
+/// few expensive items cannot strand the rest of the pool behind one thread.
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::uint64_t n, std::uint64_t chunk = 1);
+
+  /// Claims the next chunk. Returns false when no work remains.
+  bool next(std::uint64_t& begin, std::uint64_t& end);
+
+  std::uint64_t size() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  std::uint64_t chunk_;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+/// Runs fn(worker_index) on up to `threads` workers (at least one). Workers
+/// typically construct per-thread state (a simulator instance) once, then
+/// drain a shared WorkQueue. Exceptions thrown by fn are rethrown on the
+/// calling thread (first one wins).
+void parallel_workers(int threads, const std::function<void(int)>& fn);
+
+/// Dynamic counterpart of parallel_for: fn(i) for i in [0, n), scheduled in
+/// `chunk`-sized ranges stolen from a shared queue, so skewed per-item cost
+/// balances across workers automatically.
+void parallel_dynamic(std::uint64_t n, int threads, std::uint64_t chunk,
+                      const std::function<void(std::uint64_t)>& fn);
 
 }  // namespace musa

@@ -1,0 +1,67 @@
+#include "common/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace musa {
+
+std::string format_duration(double seconds) {
+  if (!(seconds >= 0.0) || !std::isfinite(seconds)) return "?";
+  const auto s = static_cast<std::uint64_t>(seconds);
+  char buf[48];
+  if (s >= 3600)
+    std::snprintf(buf, sizeof buf, "%lluh%02llum",
+                  static_cast<unsigned long long>(s / 3600),
+                  static_cast<unsigned long long>((s % 3600) / 60));
+  else if (s >= 60)
+    std::snprintf(buf, sizeof buf, "%llum%02llus",
+                  static_cast<unsigned long long>(s / 60),
+                  static_cast<unsigned long long>(s % 60));
+  else
+    std::snprintf(buf, sizeof buf, "%llus",
+                  static_cast<unsigned long long>(s));
+  return buf;
+}
+
+ProgressReporter::ProgressReporter(std::string label, std::uint64_t total,
+                                   double min_interval_s, bool enabled)
+    : label_(std::move(label)),
+      total_(total),
+      min_interval_s_(min_interval_s),
+      enabled_(enabled),
+      start_(std::chrono::steady_clock::now()) {}
+
+std::string ProgressReporter::line(std::uint64_t done,
+                                   double elapsed_s) const {
+  const double pct =
+      total_ ? 100.0 * static_cast<double>(done) / static_cast<double>(total_)
+             : 100.0;
+  const double rate =
+      elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s : 0.0;
+  const double eta_s =
+      (rate > 0.0 && done < total_)
+          ? static_cast<double>(total_ - done) / rate
+          : 0.0;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "%s: %llu/%llu (%.1f%%) | %.2f/s | elapsed %s | ETA %s",
+                label_.c_str(), static_cast<unsigned long long>(done),
+                static_cast<unsigned long long>(total_), pct, rate,
+                format_duration(elapsed_s).c_str(),
+                format_duration(eta_s).c_str());
+  return buf;
+}
+
+void ProgressReporter::tick(std::uint64_t count) {
+  const std::uint64_t done = done_.fetch_add(count) + count;
+  if (!enabled_) return;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::lock_guard<std::mutex> lock(print_mu_);
+  if (done < total_ && elapsed - last_print_s_ < min_interval_s_) return;
+  last_print_s_ = elapsed;
+  std::fprintf(stderr, "  %s\n", line(done, elapsed).c_str());
+}
+
+}  // namespace musa

@@ -1,0 +1,50 @@
+// Progress / throughput / ETA reporting for long-running sweeps.
+//
+// Replaces ad-hoc "print every Nth item" counters: updates are rate-limited
+// by wall time instead of item count, so the cadence is right whether a
+// point takes milliseconds or minutes, and each line carries throughput and
+// a remaining-time estimate computed from the measured rate.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace musa {
+
+/// "2m08s"-style rendering of a duration (sub-second → "0s"; hours shown
+/// once the duration crosses one hour).
+std::string format_duration(double seconds);
+
+class ProgressReporter {
+ public:
+  /// `label` prefixes every line; `total` is the item count; updates print
+  /// to stderr at most every `min_interval_s` seconds (the final item always
+  /// prints). `enabled` = false silences output entirely (tests, workers).
+  ProgressReporter(std::string label, std::uint64_t total,
+                   double min_interval_s = 2.0, bool enabled = true);
+
+  /// Marks `count` more items done; prints a status line when one is due.
+  /// Thread-safe.
+  void tick(std::uint64_t count = 1);
+
+  std::uint64_t done() const { return done_.load(); }
+
+  /// Formats the status line for `done` items after `elapsed_s` seconds —
+  /// exposed (and deterministic) for tests.
+  std::string line(std::uint64_t done, double elapsed_s) const;
+
+ private:
+  std::string label_;
+  std::uint64_t total_;
+  double min_interval_s_;
+  bool enabled_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<std::uint64_t> done_{0};
+  std::mutex print_mu_;
+  double last_print_s_ = -1e30;
+};
+
+}  // namespace musa

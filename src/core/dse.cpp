@@ -1,13 +1,16 @@
 #include "core/dse.hpp"
 
-#include <atomic>
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/journal.hpp"
 #include "common/parallel.hpp"
+#include "common/progress.hpp"
 #include "common/stats.hpp"
 
 namespace musa::core {
@@ -21,8 +24,18 @@ std::string fmt(double v) {
 double num(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
 }  // namespace
 
-DseEngine::DseEngine(Pipeline& pipeline, std::string cache_path)
-    : pipeline_(pipeline), cache_path_(std::move(cache_path)) {}
+DseEngine::DseEngine(Pipeline& pipeline, std::string cache_path,
+                     SweepOptions options)
+    : pipeline_(pipeline),
+      cache_path_(std::move(cache_path)),
+      options_(std::move(options)) {
+  MUSA_CHECK_MSG(options_.shard_count >= 1 &&
+                     options_.shard_index >= 0 &&
+                     options_.shard_index < options_.shard_count,
+                 "shard index must satisfy 0 <= i < N");
+  MUSA_CHECK_MSG(options_.shard_count == 1 || !cache_path_.empty(),
+                 "sharded sweeps need a cache path to merge journals into");
+}
 
 std::vector<std::string> DseEngine::csv_header() {
   return {"app",        "core",      "cache",     "freq_ghz", "vector_bits",
@@ -63,6 +76,8 @@ std::vector<std::string> DseEngine::to_row(const SimResult& r) {
 }
 
 SimResult DseEngine::from_row(const std::vector<std::string>& row) {
+  MUSA_CHECK_MSG(row.size() == csv_header().size(),
+                 "cached result row has wrong width");
   SimResult r;
   std::size_t i = 0;
   r.app = row[i++];
@@ -110,51 +125,281 @@ SimResult DseEngine::from_row(const std::vector<std::string>& row) {
   return r;
 }
 
-void DseEngine::recompute() {
-  const std::vector<MachineConfig> space = ConfigSpace::full_space();
-  const auto& apps = apps::registry();
-  const std::uint64_t total = space.size() * apps.size();
-  results_.assign(total, SimResult{});
+std::string DseEngine::point_key(const std::string& app,
+                                 const MachineConfig& config) {
+  return app + "|" + config.id();
+}
 
-  // Every simulation point is independent; block-partition them over worker
-  // threads, each with its own Pipeline (the pipeline memoises traces and is
-  // not shared across threads). Results land in fixed slots, so the sweep
-  // output is identical to a serial run.
-  const int threads = default_thread_count();
-  std::atomic<int> done{0};
-  parallel_blocks(total, threads, [&](std::uint64_t begin, std::uint64_t end) {
-    Pipeline local(pipeline_.options());
-    for (std::uint64_t i = begin; i < end; ++i) {
-      const auto& app = apps[i / space.size()];
-      const auto& config = space[i % space.size()];
-      results_[i] = local.run(app, config);
-      const int d = ++done;
-      if (d % 432 == 0)
-        std::fprintf(stderr, "  dse sweep: %d / %llu simulations\n", d,
-                     static_cast<unsigned long long>(total));
-    }
-  });
-  ready_ = true;
-  if (!cache_path_.empty()) {
-    CsvDoc doc(csv_header());
-    for (const auto& r : results_) doc.add_row(to_row(r));
-    doc.save(cache_path_);
+DseEngine::Plan DseEngine::make_plan() const {
+  Plan plan;
+  if (options_.apps.empty()) {
+    for (const auto& app : apps::registry()) plan.app_list.push_back(&app);
+  } else {
+    for (const auto& name : options_.apps)
+      plan.app_list.push_back(&apps::find_app(name));
   }
+  plan.configs =
+      options_.configs.empty() ? ConfigSpace::full_space() : options_.configs;
+  MUSA_CHECK_MSG(!plan.app_list.empty() && !plan.configs.empty(),
+                 "empty sweep plan");
+  plan.keys.reserve(plan.app_list.size() * plan.configs.size());
+  for (const auto* app : plan.app_list)
+    for (const auto& config : plan.configs)
+      plan.keys.push_back(point_key(app->name, config));
+  return plan;
+}
+
+std::string DseEngine::journal_path() const {
+  if (options_.shard_count == 1) return cache_path_ + ".journal";
+  return cache_path_ + ".shard-" + std::to_string(options_.shard_index) +
+         "-of-" + std::to_string(options_.shard_count) + ".journal";
+}
+
+bool DseEngine::load_cache(
+    const Plan& plan,
+    std::vector<std::pair<std::string, std::vector<std::string>>>* salvage) {
+  // Tolerant parse: a kill -9 during a non-atomic write (e.g. an external
+  // tool touched the file) can leave a truncated last line. Salvage every
+  // intact row rather than discarding hours of results over one bad line.
+  CsvDoc doc;
+  std::size_t bad = 0;
+  try {
+    doc = CsvDoc::load_tolerant(cache_path_, &bad);
+  } catch (const SimError& e) {
+    if (options_.verbose)
+      std::fprintf(stderr, "[dse] unreadable cache %s (%s); rebuilding\n",
+                   cache_path_.c_str(), e.what());
+    return false;
+  }
+  // A different schema is a deliberate code change, not crash damage:
+  // refuse loudly rather than recompute hours of results behind the
+  // caller's back.
+  MUSA_CHECK_MSG(doc.header() == csv_header(),
+                 "stale DSE cache (schema changed): delete " + cache_path_);
+
+  std::unordered_map<std::string, std::uint64_t> index_of;
+  index_of.reserve(plan.size());
+  for (std::uint64_t i = 0; i < plan.size(); ++i) index_of[plan.keys[i]] = i;
+
+  std::vector<SimResult> parsed(plan.size());
+  std::vector<char> seen(plan.size(), 0);
+  std::size_t valid = 0, foreign = 0, duplicate = 0;
+  for (const auto& row : doc.rows()) {
+    SimResult r;
+    try {
+      r = from_row(row);
+    } catch (const SimError&) {
+      ++bad;
+      continue;
+    }
+    const auto it = index_of.find(point_key(r.app, r.config));
+    if (it == index_of.end()) {
+      ++foreign;
+      continue;
+    }
+    if (seen[it->second]) {
+      ++duplicate;
+      continue;
+    }
+    seen[it->second] = 1;
+    parsed[it->second] = std::move(r);
+    ++valid;
+    if (salvage) salvage->emplace_back(plan.keys[it->second], row);
+  }
+
+  if (valid == plan.size() && bad == 0 && foreign == 0 && duplicate == 0) {
+    results_ = std::move(parsed);
+    return true;
+  }
+  if (options_.verbose)
+    std::fprintf(stderr,
+                 "[dse] cache %s is incomplete: %zu/%llu points "
+                 "(%zu unparsable, %zu foreign, %zu duplicate rows); "
+                 "resuming the missing points via the journal\n",
+                 cache_path_.c_str(), valid,
+                 static_cast<unsigned long long>(plan.size()), bad, foreign,
+                 duplicate);
+  return false;
+}
+
+SweepReport DseEngine::sweep(bool force) {
+  if (force) {
+    clear_cache();
+    ready_ = false;
+    results_.clear();
+  }
+  const Plan plan = make_plan();
+  SweepReport rep;
+  rep.total = plan.size();
+  for (std::uint64_t i = 0; i < plan.size(); ++i)
+    if (i % options_.shard_count ==
+        static_cast<std::uint64_t>(options_.shard_index))
+      ++rep.shard_points;
+
+  if (ready_) {
+    rep.resumed = rep.shard_points;
+    rep.finalized = true;
+    report_ = rep;
+    return rep;
+  }
+
+  // Every simulation point is independent. Workers own a private Pipeline
+  // (it memoises traces and is not shared across threads) and steal points
+  // one at a time from a shared queue — points vary >10x in cost across
+  // apps, so static blocks would idle threads at the tail.
+  const auto run_points = [&](const std::vector<std::uint64_t>& todo,
+                              ResultJournal* journal) {
+    if (todo.empty()) return;
+    WorkQueue queue(todo.size());
+    ProgressReporter progress("dse sweep", todo.size(), 2.0,
+                              options_.verbose);
+    const int threads = static_cast<int>(std::min<std::uint64_t>(
+        std::max(1, default_thread_count()), todo.size()));
+    std::mutex merge_mu;
+    parallel_workers(threads, [&](int) {
+      Pipeline local(pipeline_.options());
+      std::uint64_t begin = 0, end = 0;
+      while (queue.next(begin, end))
+        for (std::uint64_t t = begin; t < end; ++t) {
+          const std::uint64_t idx = todo[t];
+          const SimResult r = local.run(plan.app_of(idx), plan.config_of(idx));
+          if (journal)
+            journal->append(plan.keys[idx], to_row(r));
+          else
+            results_[idx] = r;  // disjoint slots, race-free
+          progress.tick();
+        }
+      std::lock_guard<std::mutex> lock(merge_mu);
+      rep.stages.merge(local.stage_times());
+    });
+    rep.computed += todo.size();
+  };
+
+  if (cache_path_.empty()) {
+    // Caching disabled: plain in-memory sweep (always unsharded; checked in
+    // the constructor).
+    results_.assign(plan.size(), SimResult{});
+    std::vector<std::uint64_t> all(plan.size());
+    for (std::uint64_t i = 0; i < plan.size(); ++i) all[i] = i;
+    run_points(all, nullptr);
+    ready_ = true;
+    rep.finalized = true;
+    report_ = rep;
+    return rep;
+  }
+
+  std::vector<std::pair<std::string, std::vector<std::string>>> salvage;
+  if (CsvDoc::file_exists(cache_path_) && load_cache(plan, &salvage)) {
+    // A crash between cache finalize and journal cleanup can leave stale
+    // journals behind; the complete cache supersedes them.
+    for (const auto& path : find_journals(cache_path_))
+      std::remove(path.c_str());
+    ready_ = true;
+    rep.resumed = rep.shard_points;
+    rep.finalized = true;
+    report_ = rep;
+    return rep;
+  }
+
+  // Resume state: this shard's journal, seeded with whatever a partial
+  // cache could contribute, plus read-only views of sibling journals.
+  ResultJournal journal(journal_path(), csv_header());
+  rep.dropped += journal.dropped_on_load();
+  if (options_.verbose && journal.dropped_on_load() > 0)
+    std::fprintf(stderr,
+                 "[dse] journal %s: dropped %zu corrupt record(s) from a "
+                 "previous crash\n",
+                 journal.path().c_str(), journal.dropped_on_load());
+  for (const auto& [key, row] : salvage)
+    if (!journal.contains(key)) journal.append(key, row);
+
+  const auto merge_siblings = [&](ResultJournal::Entries& known) {
+    for (const auto& path : find_journals(cache_path_)) {
+      if (path == journal.path()) continue;
+      ResultJournal::LoadResult lr = ResultJournal::read(path, csv_header());
+      if (lr.schema_mismatch) {
+        if (options_.verbose)
+          std::fprintf(stderr, "[dse] ignoring schema-mismatched journal %s\n",
+                       path.c_str());
+        continue;
+      }
+      rep.dropped += lr.dropped;
+      for (auto& [key, row] : lr.entries)
+        known.emplace(key, std::move(row));
+    }
+  };
+
+  ResultJournal::Entries known = journal.entries();
+  merge_siblings(known);
+
+  std::vector<std::uint64_t> missing;
+  for (std::uint64_t i = 0; i < plan.size(); ++i) {
+    if (i % options_.shard_count !=
+        static_cast<std::uint64_t>(options_.shard_index))
+      continue;
+    if (known.find(plan.keys[i]) == known.end()) missing.push_back(i);
+  }
+  rep.resumed = rep.shard_points - missing.size();
+  if (options_.verbose && rep.resumed > 0)
+    std::fprintf(stderr,
+                 "[dse] resuming: %llu of this shard's %llu points already "
+                 "journaled\n",
+                 static_cast<unsigned long long>(rep.resumed),
+                 static_cast<unsigned long long>(rep.shard_points));
+
+  run_points(missing, &journal);
+
+  // Finalize the moment cache-worthy coverage exists: cache rows are
+  // emitted in plan order from the journalled strings, so an interrupted
+  // (or sharded) sweep produces a byte-identical cache to an uninterrupted
+  // one.
+  known = journal.entries();
+  merge_siblings(known);
+  bool complete = true;
+  for (const auto& key : plan.keys)
+    if (known.find(key) == known.end()) {
+      complete = false;
+      break;
+    }
+
+  if (complete) {
+    results_.assign(plan.size(), SimResult{});
+    CsvDoc doc(csv_header());
+    for (std::uint64_t i = 0; i < plan.size(); ++i) {
+      const auto& row = known.at(plan.keys[i]);
+      results_[i] = from_row(row);
+      doc.add_row(row);
+    }
+    doc.save(cache_path_);
+    journal.discard();
+    for (const auto& path : find_journals(cache_path_))
+      std::remove(path.c_str());
+    ready_ = true;
+    rep.finalized = true;
+  } else if (options_.verbose) {
+    std::fprintf(stderr,
+                 "[dse] shard %d/%d complete (%llu known of %llu total); "
+                 "rerun after the sibling shards finish to merge\n",
+                 options_.shard_index, options_.shard_count,
+                 static_cast<unsigned long long>(known.size()),
+                 static_cast<unsigned long long>(plan.size()));
+  }
+  report_ = rep;
+  return rep;
+}
+
+void DseEngine::clear_cache() {
+  if (cache_path_.empty()) return;
+  std::remove(cache_path_.c_str());
+  for (const auto& path : find_journals(cache_path_))
+    std::remove(path.c_str());
 }
 
 void DseEngine::ensure_results() {
-  if (ready_) return;
-  if (!cache_path_.empty() && CsvDoc::file_exists(cache_path_)) {
-    const CsvDoc doc = CsvDoc::load(cache_path_);
-    MUSA_CHECK_MSG(doc.header() == csv_header(),
-                   "stale DSE cache (schema changed): delete " + cache_path_);
-    results_.clear();
-    results_.reserve(doc.rows().size());
-    for (const auto& row : doc.rows()) results_.push_back(from_row(row));
-    ready_ = true;
-    return;
-  }
-  recompute();
+  if (!ready_) sweep();
+  MUSA_CHECK_MSG(ready_,
+                 "sweep results unavailable: sibling shards have not "
+                 "finished; rerun once every shard's journal exists");
 }
 
 const std::vector<SimResult>& DseEngine::results() {
@@ -183,18 +428,20 @@ NormStat DseEngine::normalized_ratio(const std::string& app, int cores,
                                      const std::string& dimension,
                                      const std::string& value,
                                      const std::string& baseline,
-                                     const MetricFn& metric) {
+                                     const Metric& metric) {
   ensure_results();
   // Map normalisation partner key -> baseline metric value.
   std::unordered_map<std::string, double> base;
   for (const auto& r : results_) {
     if (r.app != app || r.config.cores != cores) continue;
+    if (!metric.admits(r)) continue;
     if (dimension_value(r.config, dimension) != baseline) continue;
     base[r.config.id_without(dimension)] = metric(r);
   }
   RunningStats acc;
   for (const auto& r : results_) {
     if (r.app != app || r.config.cores != cores) continue;
+    if (!metric.admits(r)) continue;
     if (dimension_value(r.config, dimension) != value) continue;
     const auto it = base.find(r.config.id_without(dimension));
     if (it == base.end() || it->second == 0.0) continue;
@@ -206,11 +453,12 @@ NormStat DseEngine::normalized_ratio(const std::string& app, int cores,
 NormStat DseEngine::average(const std::string& app, int cores,
                             const std::string& dimension,
                             const std::string& value,
-                            const MetricFn& metric) {
+                            const Metric& metric) {
   ensure_results();
   RunningStats acc;
   for (const auto& r : results_) {
     if (r.app != app || r.config.cores != cores) continue;
+    if (!metric.admits(r)) continue;
     if (!dimension.empty() &&
         dimension_value(r.config, dimension) != value)
       continue;
@@ -225,15 +473,19 @@ DseEngine::PowerSplit DseEngine::power_split(const std::string& app,
                                              const std::string& value,
                                              const std::string& baseline) {
   ensure_results();
+  // Power shares only make sense where every component is known: HBM2
+  // points (dram_power_known == false) are excluded from both sides.
   std::unordered_map<std::string, double> base;
   for (const auto& r : results_) {
     if (r.app != app || r.config.cores != cores) continue;
+    if (!r.dram_power_known) continue;
     if (dimension_value(r.config, dimension) != baseline) continue;
     base[r.config.id_without(dimension)] = r.node_w;
   }
   RunningStats core_acc, cache_acc, dram_acc;
   for (const auto& r : results_) {
     if (r.app != app || r.config.cores != cores) continue;
+    if (!r.dram_power_known) continue;
     if (dimension_value(r.config, dimension) != value) continue;
     const auto it = base.find(r.config.id_without(dimension));
     if (it == base.end() || it->second == 0.0) continue;

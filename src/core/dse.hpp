@@ -1,12 +1,19 @@
 // Design-space-exploration engine (paper §IV/§V-B).
 //
 // Runs the full 864-configuration × 5-application sweep through the MUSA
-// pipeline, caches results as CSV (Figs 5–10 all normalise over the same
-// sweep, so the expensive part runs once), and implements the paper's
-// normalisation methodology: every simulation is divided by the simulation
-// sharing *all other* architectural parameters but holding the swept
-// parameter at its baseline value; bars report the mean (and stddev) of
-// those ratios — 96 samples per bar at the paper's grid.
+// pipeline as a *resumable* job: every completed point is appended to a
+// crash-safe journal (common/journal.hpp) keyed by (app, config-id), so a
+// killed sweep resumes exactly where it stopped instead of restarting all
+// 4320 points, and the final CSV cache is written atomically only once the
+// point set is complete. Sweeps can also be sharded across processes or
+// machines (`SweepOptions::shard_*`); shard journals merge into the same
+// cache the moment the union covers the plan.
+//
+// Figures 5–10 all normalise over the same sweep, using the paper's
+// methodology: every simulation is divided by the simulation sharing *all
+// other* architectural parameters but holding the swept parameter at its
+// baseline value; bars report the mean (and stddev) of those ratios — 96
+// samples per bar at the paper's grid.
 #pragma once
 
 #include <functional>
@@ -21,14 +28,43 @@ namespace musa::core {
 /// Extracts the plotted quantity from one simulation result.
 using MetricFn = std::function<double(const SimResult&)>;
 
+/// A metric plus the guard the power figures need: HBM2 points carry
+/// dram_power_known == false (the paper has no vendor power data, §V-D), so
+/// any power- or energy-derived metric must skip them — folding a
+/// partial node_w into a normalised ratio would silently skew every bar
+/// that mixes memory technologies.
+class Metric {
+ public:
+  Metric(MetricFn fn, bool needs_power = false)  // NOLINT: implicit by design
+      : fn_(std::move(fn)), needs_power_(needs_power) {}
+
+  double operator()(const SimResult& r) const { return fn_(r); }
+
+  /// True if the metric reads power/energy fields; samples with
+  /// dram_power_known == false are excluded from aggregation.
+  bool needs_power() const { return needs_power_; }
+
+  /// Whether `r` may contribute to an aggregate of this metric.
+  bool admits(const SimResult& r) const {
+    return !needs_power_ || r.dram_power_known;
+  }
+
+ private:
+  MetricFn fn_;
+  bool needs_power_;
+};
+
 /// Canonical metrics for the figure reproductions.
 namespace metrics {
-inline double region_time(const SimResult& r) { return r.region_seconds; }
-inline double wall_time(const SimResult& r) { return r.wall_seconds; }
-inline double node_power(const SimResult& r) { return r.node_w; }
-inline double region_energy(const SimResult& r) {
-  return r.node_w * r.region_seconds;
-}
+inline const Metric region_time{
+    [](const SimResult& r) { return r.region_seconds; }};
+inline const Metric wall_time{
+    [](const SimResult& r) { return r.wall_seconds; }};
+inline const Metric node_power{[](const SimResult& r) { return r.node_w; },
+                               /*needs_power=*/true};
+inline const Metric region_energy{
+    [](const SimResult& r) { return r.node_w * r.region_seconds; },
+    /*needs_power=*/true};
 }  // namespace metrics
 
 struct NormStat {
@@ -37,16 +73,69 @@ struct NormStat {
   int n = 0;
 };
 
+/// How a sweep is executed. Defaults reproduce the paper's full grid in one
+/// process; shards split the plan round-robin for multi-process /
+/// multi-machine runs whose journals merge into one cache.
+struct SweepOptions {
+  int shard_index = 0;
+  int shard_count = 1;
+  bool verbose = true;  // progress / repair warnings on stderr
+
+  /// Test hooks: restrict the plan to these configs / app names
+  /// (empty → ConfigSpace::full_space() / every registry app).
+  std::vector<MachineConfig> configs;
+  std::vector<std::string> apps;
+};
+
+/// What one sweep() call did — the engine's observability surface.
+struct SweepReport {
+  std::uint64_t total = 0;         // points in the full plan
+  std::uint64_t shard_points = 0;  // points owned by this shard
+  std::uint64_t resumed = 0;       // shard points already in cache/journals
+  std::uint64_t computed = 0;      // points simulated by this call
+  std::uint64_t dropped = 0;       // corrupt journal records discarded
+  bool finalized = false;          // cache CSV written (plan fully covered)
+  StageTimes stages;               // per-stage wall time of computed points
+};
+
 class DseEngine {
  public:
-  /// `cache_path`: CSV file for result caching ("" disables caching).
-  DseEngine(Pipeline& pipeline, std::string cache_path);
+  /// `cache_path`: CSV file for result caching ("" disables caching and
+  /// journaling; sharding then requires a cache to merge into).
+  DseEngine(Pipeline& pipeline, std::string cache_path,
+            SweepOptions options = {});
 
   /// Sweep results, computed on first use (or loaded from the cache file).
+  /// Throws if this engine is a shard whose siblings have not finished —
+  /// results only exist once the plan is fully covered.
   const std::vector<SimResult>& results();
 
+  /// Ensures this shard's points exist, resuming from the journal and a
+  /// (possibly partial) cache: a truncated or under-sampled cache is
+  /// detected, warned about, and repaired by recomputing exactly the
+  /// missing points. With `force`, cache and journals are deleted first.
+  /// Finalizes (atomically writes the cache, removes journals) as soon as
+  /// the union of cache + all shard journals covers the whole plan.
+  SweepReport sweep(bool force = false);
+
   /// Forces a fresh sweep, replacing any cache.
-  void recompute();
+  void recompute() { sweep(/*force=*/true); }
+
+  /// Deletes the cache file and every journal belonging to it.
+  void clear_cache();
+
+  /// Report of the most recent sweep() (empty before the first one).
+  const SweepReport& report() const { return report_; }
+
+  /// Journal key of one sweep point: "app|config-id".
+  static std::string point_key(const std::string& app,
+                               const MachineConfig& config);
+
+  /// CSV/journal schema and row codecs (exact string round-trip:
+  /// from_row(to_row(r)) reproduces every field).
+  static std::vector<std::string> csv_header();
+  static std::vector<std::string> to_row(const SimResult& r);
+  static SimResult from_row(const std::vector<std::string>& row);
 
   /// Value of a config along one sweep dimension, e.g. dimension "vector"
   /// → "512b". Dimensions: core, cache, freq, vector, channels, cores.
@@ -56,21 +145,23 @@ class DseEngine {
   /// Paper-style normalised average for one bar of a figure:
   /// mean over all configuration pairs (app, cores panel fixed) of
   /// metric(config with dimension=value) / metric(partner with
-  /// dimension=baseline).
+  /// dimension=baseline). Points the metric does not admit (unknown DRAM
+  /// power under a power/energy metric) are skipped.
   NormStat normalized_ratio(const std::string& app, int cores,
                             const std::string& dimension,
                             const std::string& value,
                             const std::string& baseline,
-                            const MetricFn& metric);
+                            const Metric& metric);
 
   /// Average of a metric over all sweep points matching (app, cores, and
   /// dimension=value); used for absolute quantities such as power splits.
   NormStat average(const std::string& app, int cores,
                    const std::string& dimension, const std::string& value,
-                   const MetricFn& metric);
+                   const Metric& metric);
 
   /// Component-wise power-share average (Core+L1 / L2+L3 / Memory),
-  /// normalised to the baseline dimension value's total power.
+  /// normalised to the baseline dimension value's total power. Points with
+  /// unknown DRAM power are skipped on both sides of the ratio.
   struct PowerSplit {
     double core_l1 = 0.0, l2_l3 = 0.0, dram = 0.0;
   };
@@ -80,14 +171,39 @@ class DseEngine {
                          const std::string& baseline);
 
  private:
+  /// The enumerated sweep plan: app-major over (apps × configs), the same
+  /// layout results_ uses.
+  struct Plan {
+    std::vector<const apps::AppModel*> app_list;
+    std::vector<MachineConfig> configs;
+    std::vector<std::string> keys;  // point_key per plan index
+
+    std::uint64_t size() const { return keys.size(); }
+    const apps::AppModel& app_of(std::uint64_t i) const {
+      return *app_list[i / configs.size()];
+    }
+    const MachineConfig& config_of(std::uint64_t i) const {
+      return configs[i % configs.size()];
+    }
+  };
+
+  Plan make_plan() const;
+  std::string journal_path() const;
   void ensure_results();
-  static std::vector<std::string> csv_header();
-  static std::vector<std::string> to_row(const SimResult& r);
-  static SimResult from_row(const std::vector<std::string>& row);
+
+  /// Tries to load `cache_path_` as a complete, exactly-covering result
+  /// set; on success fills results_ (plan order) and returns true. On any
+  /// mismatch (missing/duplicate/foreign rows, unparsable rows) salvages
+  /// what is valid into `salvage` and returns false.
+  bool load_cache(const Plan& plan,
+                  std::vector<std::pair<std::string,
+                                        std::vector<std::string>>>* salvage);
 
   Pipeline& pipeline_;
   std::string cache_path_;
+  SweepOptions options_;
   std::vector<SimResult> results_;
+  SweepReport report_;
   bool ready_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -55,6 +56,15 @@ void functional_warm(trace::InstrSource& source,
     if (isa::is_mem(in.op))
       hierarchy.access(0, in.addr, in.op == isa::OpClass::kStore);
   }
+}
+
+/// Seconds of wall time since `t0`, advancing `t0` to now — one call per
+/// stage boundary turns a time point into a stage duration.
+double lap_s(std::chrono::steady_clock::time_point& t0) {
+  const auto now = std::chrono::steady_clock::now();
+  const double s = std::chrono::duration<double>(now - t0).count();
+  t0 = now;
+  return s;
 }
 
 /// Node-makespan lumpiness: with few tasks per core, the per-rank region
@@ -230,8 +240,10 @@ SimResult Pipeline::run(const apps::AppModel& app,
 
   // Burst-mode pre-pass estimates how many cores actually hold tasks
   // (drives the L3 capacity share in detailed mode).
+  auto stage_t0 = std::chrono::steady_clock::now();
   cpusim::NodeResult burst_node;
   run_burst(app, config.cores, /*ranks=*/1, &burst_node, nullptr);
+  stage_times_.burst_s += lap_s(stage_t0);
   const double active_cores =
       std::clamp(burst_node.avg_concurrency, 1.0,
                  static_cast<double>(config.cores));
@@ -311,6 +323,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   }
   activity.active_cores = concurrency_weighted / region_seconds;
   activity.total_cores = config.cores;
+  stage_times_.kernel_s += lap_s(stage_t0);
 
   // --- Machine level: MPI replay ------------------------------------------
   netsim::DimemasEngine net(options_.network);
@@ -319,6 +332,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   ropts.region_jitter_sigma = makespan_jitter_sigma(app, config.cores);
   const netsim::ReplayResult replay =
       net.replay(trace_of(app, config.ranks), ropts);
+  stage_times_.replay_s += lap_s(stage_t0);
 
   // --- Power ---------------------------------------------------------------
   const powersim::CorePower core_power(config.core, config.vector_bits,
@@ -355,6 +369,8 @@ SimResult Pipeline::run(const apps::AppModel& app,
   }
   r.node_w = r.core_l1_w + r.l2_l3_w + r.dram_w;
   r.energy_j = r.dram_power_known ? r.node_w * r.wall_seconds : 0.0;
+  stage_times_.power_s += lap_s(stage_t0);
+  ++stage_times_.points;
   return r;
 }
 

@@ -72,6 +72,26 @@ struct BurstResult {
   double wall_seconds = 0.0;    // full parallel region incl. MPI
 };
 
+/// Wall-clock attribution of run() calls to pipeline stages, accumulated
+/// per Pipeline instance; the DSE engine merges the per-worker totals into
+/// its sweep report so throughput regressions are attributable to a stage.
+struct StageTimes {
+  double burst_s = 0.0;   // hardware-agnostic pre-pass (active-core estimate)
+  double kernel_s = 0.0;  // detailed core/cache/DRAM simulation
+  double replay_s = 0.0;  // machine-level MPI replay
+  double power_s = 0.0;   // power/energy models
+  std::uint64_t points = 0;  // full-pipeline simulations timed
+
+  double total_s() const { return burst_s + kernel_s + replay_s + power_s; }
+  void merge(const StageTimes& o) {
+    burst_s += o.burst_s;
+    kernel_s += o.kernel_s;
+    replay_s += o.replay_s;
+    power_s += o.power_s;
+    points += o.points;
+  }
+};
+
 struct PipelineOptions {
   std::uint64_t warm_instrs = 320'000;    // functional warm-up slice
   std::uint64_t measure_instrs = 256'000;  // measured detailed slice
@@ -96,6 +116,10 @@ class Pipeline {
 
   const PipelineOptions& options() const { return options_; }
 
+  /// Cumulative per-stage wall time of every run() on this instance.
+  const StageTimes& stage_times() const { return stage_times_; }
+  void reset_stage_times() { stage_times_ = StageTimes{}; }
+
  private:
   struct DetailedTiming {
     cpusim::TaskTiming task;
@@ -119,6 +143,7 @@ class Pipeline {
   const trace::AppTrace& trace_of(const apps::AppModel& app, int ranks);
 
   PipelineOptions options_;
+  StageTimes stage_times_;
   std::unordered_map<std::string, trace::Region> regions_;
   std::unordered_map<std::string, trace::AppTrace> traces_;
 };

@@ -2,13 +2,19 @@
 // statistics, table/CSV round-trips, and invariant checks.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/parallel.hpp"
+#include "common/progress.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -144,6 +150,87 @@ TEST(Csv, FileRoundTrip) {
   const CsvDoc loaded = CsvDoc::load(path);
   EXPECT_EQ(loaded.rows()[0][0], "answer");
   std::remove(path.c_str());
+}
+
+TEST(Csv, RejectsCellsContainingDelimiters) {
+  CsvDoc doc({"a", "b"});
+  EXPECT_THROW(doc.add_row({"with,comma", "x"}), SimError);
+  EXPECT_THROW(doc.add_row({"x", "with\nnewline"}), SimError);
+  EXPECT_THROW(doc.add_row({"x", "with\rreturn"}), SimError);
+  doc.add_row({"clean", "cells"});  // unaffected
+  EXPECT_EQ(doc.rows().size(), 1u);
+}
+
+TEST(Csv, SaveIsAtomicReplaceLeavingNoTempFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "musa_csv_atomic.csv";
+  CsvDoc first({"k"});
+  first.add_row({"old"});
+  first.save(path);
+  CsvDoc second({"k"});
+  second.add_row({"new"});
+  second.save(path);
+  EXPECT_EQ(CsvDoc::load(path).rows()[0][0], "new");
+  EXPECT_FALSE(CsvDoc::file_exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(Parallel, WorkQueueDispensesDisjointCoveringChunks) {
+  WorkQueue q(10, 4);
+  std::uint64_t b = 0, e = 0;
+  ASSERT_TRUE(q.next(b, e));
+  EXPECT_EQ(b, 0u);
+  EXPECT_EQ(e, 4u);
+  ASSERT_TRUE(q.next(b, e));
+  EXPECT_EQ(b, 4u);
+  EXPECT_EQ(e, 8u);
+  ASSERT_TRUE(q.next(b, e));
+  EXPECT_EQ(b, 8u);
+  EXPECT_EQ(e, 10u);  // final partial chunk clamped to n
+  EXPECT_FALSE(q.next(b, e));
+  EXPECT_THROW(WorkQueue(5, 0), SimError);
+}
+
+TEST(Parallel, DynamicSchedulingRunsEveryItemOnceUnderSkew) {
+  // Per-item cost skewed >10x (sweep points vary this much across apps):
+  // dynamic chunk stealing must still run each index exactly once.
+  const std::uint64_t n = 300;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_dynamic(n, 8, 1, [&](std::uint64_t i) {
+    if (i % 37 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    hits[i].fetch_add(1);
+  });
+  for (std::uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(Parallel, ParallelWorkersRethrowsWorkerException) {
+  EXPECT_THROW(parallel_workers(4,
+                                [](int w) {
+                                  if (w == 2) throw SimError("worker 2 died");
+                                }),
+               SimError);
+}
+
+TEST(Progress, FormatDurationScalesUnits) {
+  EXPECT_EQ(format_duration(5.2), "5s");
+  EXPECT_EQ(format_duration(75.0), "1m15s");
+  EXPECT_EQ(format_duration(3660.0), "1h01m");
+  EXPECT_EQ(format_duration(-1.0), "?");
+}
+
+TEST(Progress, LineReportsRateAndEta) {
+  ProgressReporter pr("sweep", 100, /*min_interval_s=*/1.0,
+                      /*enabled=*/false);
+  const std::string line = pr.line(50, 10.0);
+  EXPECT_NE(line.find("sweep: 50/100"), std::string::npos);
+  EXPECT_NE(line.find("50.0%"), std::string::npos);
+  EXPECT_NE(line.find("5.00/s"), std::string::npos);
+  EXPECT_NE(line.find("ETA 10s"), std::string::npos);
+  // Finished: no remaining time.
+  EXPECT_NE(pr.line(100, 20.0).find("ETA 0s"), std::string::npos);
+  pr.tick(100);  // disabled reporter stays silent but counts
+  EXPECT_EQ(pr.done(), 100u);
 }
 
 }  // namespace

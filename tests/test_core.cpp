@@ -3,10 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <unordered_set>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/journal.hpp"
 #include "core/config_space.hpp"
 #include "core/dse.hpp"
 #include "core/pipeline.hpp"
@@ -201,8 +204,17 @@ TEST(DseEngine, NormalisedRatiosFromSyntheticCache) {
   row("lulesh", 512, 1.0, 130.0);  // no speed-up
   doc.save(path);
 
+  // Restrict the plan to the synthetic grid so the coverage validator
+  // accepts the cache as complete.
+  SweepOptions opts;
+  opts.verbose = false;
+  opts.apps = {"hydro", "lulesh"};
+  MachineConfig narrow, wide;
+  wide.vector_bits = 512;
+  opts.configs = {narrow, wide};
+
   Pipeline p(fast_options());
-  DseEngine dse(p, path);
+  DseEngine dse(p, path, opts);
   const NormStat hydro_t = dse.normalized_ratio(
       "hydro", 32, "vector", "512b", "128b", metrics::region_time);
   EXPECT_EQ(hydro_t.n, 1);
@@ -271,6 +283,316 @@ TEST(Pipeline, MultiPhaseRegionsSumAndScaleIndependently) {
   apps::AppModel single = apps::find_app("hydro");
   const SimResult rs = p.run(single, config);
   EXPECT_GT(r.region_seconds, rs.region_seconds);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc);
+  out << text;
+}
+
+// Exact string round-trip of the cache row codec for every core preset and
+// memory technology, including the HBM2 unknown-power flag.
+TEST(DseEngine, RowRoundTripForEveryPresetAndTech) {
+  for (const auto& preset : cpusim::core_presets()) {
+    for (auto tech :
+         {dramsim::MemTech::kDdr4_2333, dramsim::MemTech::kDdr4_2666,
+          dramsim::MemTech::kLpddr4_3200, dramsim::MemTech::kWideIo2,
+          dramsim::MemTech::kHbm2}) {
+      SimResult r;
+      r.app = "spec3d";
+      r.config.core = preset;
+      r.config.cache_label = "64M:512K";
+      r.config.freq_ghz = 2.5;
+      r.config.vector_bits = 256;
+      r.config.mem_channels = 8;
+      r.config.mem_tech = tech;
+      r.config.cores = 64;
+      r.config.ranks = 128;
+      r.region_seconds = 0.03125;
+      r.wall_seconds = 1.5;
+      r.ipc = 2.25;
+      r.avg_concurrency = 48.5;
+      r.busy_fraction = 0.75;
+      r.contention_factor = 1.125;
+      r.mpki_l1 = 12.5;
+      r.mpki_l2 = 6.25;
+      r.mpki_l3 = 0.5;
+      r.gmem_req_s = 0.015625;
+      r.mem_gbps = 42.5;
+      r.core_l1_w = 3.5;
+      r.l2_l3_w = 2.25;
+      r.dram_w = tech == dramsim::MemTech::kHbm2 ? 0.0 : 9.75;
+      r.dram_power_known = tech != dramsim::MemTech::kHbm2;
+      r.node_w = r.core_l1_w + r.l2_l3_w + r.dram_w;
+      r.energy_j = r.dram_power_known ? r.node_w * r.wall_seconds : 0.0;
+
+      const SimResult q = DseEngine::from_row(DseEngine::to_row(r));
+      EXPECT_EQ(q.app, r.app);
+      EXPECT_EQ(q.config.id(), r.config.id());
+      EXPECT_EQ(q.config.mem_tech, r.config.mem_tech);
+      EXPECT_EQ(q.config.ranks, r.config.ranks);
+      EXPECT_DOUBLE_EQ(q.region_seconds, r.region_seconds);
+      EXPECT_DOUBLE_EQ(q.wall_seconds, r.wall_seconds);
+      EXPECT_DOUBLE_EQ(q.ipc, r.ipc);
+      EXPECT_DOUBLE_EQ(q.avg_concurrency, r.avg_concurrency);
+      EXPECT_DOUBLE_EQ(q.busy_fraction, r.busy_fraction);
+      EXPECT_DOUBLE_EQ(q.contention_factor, r.contention_factor);
+      EXPECT_DOUBLE_EQ(q.mpki_l1, r.mpki_l1);
+      EXPECT_DOUBLE_EQ(q.mpki_l2, r.mpki_l2);
+      EXPECT_DOUBLE_EQ(q.mpki_l3, r.mpki_l3);
+      EXPECT_DOUBLE_EQ(q.gmem_req_s, r.gmem_req_s);
+      EXPECT_DOUBLE_EQ(q.mem_gbps, r.mem_gbps);
+      EXPECT_DOUBLE_EQ(q.core_l1_w, r.core_l1_w);
+      EXPECT_DOUBLE_EQ(q.l2_l3_w, r.l2_l3_w);
+      EXPECT_DOUBLE_EQ(q.dram_w, r.dram_w);
+      EXPECT_EQ(q.dram_power_known, r.dram_power_known);
+      EXPECT_DOUBLE_EQ(q.node_w, r.node_w);
+      EXPECT_DOUBLE_EQ(q.energy_j, r.energy_j);
+      // And the serialised form is a fixed point.
+      EXPECT_EQ(DseEngine::to_row(q), DseEngine::to_row(r));
+    }
+  }
+}
+
+// A 2-app x 2-config plan small enough to sweep for real in tests.
+SweepOptions tiny_sweep(int shard_index = 0, int shard_count = 1) {
+  SweepOptions o;
+  o.verbose = false;
+  o.shard_index = shard_index;
+  o.shard_count = shard_count;
+  o.apps = {"hydro", "btmz"};
+  MachineConfig narrow;
+  narrow.cores = 4;
+  narrow.ranks = 4;
+  MachineConfig wide = narrow;
+  wide.vector_bits = 512;
+  o.configs = {narrow, wide};
+  return o;
+}
+
+TEST(DseEngine, SweepJournalsAndResumesAfterKill) {
+  const std::string cache =
+      std::string(::testing::TempDir()) + "musa_dse_resume.csv";
+  Pipeline p(fast_options());
+  {
+    DseEngine fresh(p, cache, tiny_sweep());
+    fresh.clear_cache();
+    const SweepReport rep = fresh.sweep();
+    EXPECT_TRUE(rep.finalized);
+    EXPECT_EQ(rep.total, 4u);
+    EXPECT_EQ(rep.computed, 4u);
+    EXPECT_EQ(rep.resumed, 0u);
+    EXPECT_EQ(rep.stages.points, 4u);
+    EXPECT_GT(rep.stages.kernel_s, 0.0);
+    EXPECT_EQ(fresh.results().size(), 4u);
+  }
+  ASSERT_TRUE(CsvDoc::file_exists(cache));
+  EXPECT_TRUE(find_journals(cache).empty());  // journal cleaned up
+  const std::string reference = read_file(cache);
+
+  // Simulate a kill -9 mid-sweep: no cache, a journal holding 2 of the 4
+  // points (as the crashed process would have left behind).
+  const CsvDoc doc = CsvDoc::load(cache);
+  std::remove(cache.c_str());
+  {
+    ResultJournal j(cache + ".journal", DseEngine::csv_header());
+    for (std::size_t i : {0u, 3u}) {
+      const SimResult r = DseEngine::from_row(doc.rows()[i]);
+      j.append(DseEngine::point_key(r.app, r.config), doc.rows()[i]);
+    }
+  }
+
+  DseEngine resumed(p, cache, tiny_sweep());
+  const SweepReport rep = resumed.sweep();
+  EXPECT_TRUE(rep.finalized);
+  EXPECT_EQ(rep.resumed, 2u);
+  EXPECT_EQ(rep.computed, 2u);  // only the missing points re-ran
+  // The merged cache is byte-identical to the uninterrupted run.
+  EXPECT_EQ(read_file(cache), reference);
+  EXPECT_TRUE(find_journals(cache).empty());
+  resumed.clear_cache();
+}
+
+TEST(DseEngine, TruncatedCacheIsDetectedAndRepaired) {
+  const std::string cache =
+      std::string(::testing::TempDir()) + "musa_dse_trunc.csv";
+  Pipeline p(fast_options());
+  {
+    DseEngine fresh(p, cache, tiny_sweep());
+    fresh.clear_cache();
+    fresh.sweep();
+  }
+  const std::string reference = read_file(cache);
+
+  // Line-level truncation: drop the last data row. The old loader accepted
+  // this silently; now it must be detected and exactly one point re-run.
+  const std::string::size_type cut =
+      reference.find_last_of('\n', reference.size() - 2);
+  write_file(cache, reference.substr(0, cut + 1));
+  {
+    DseEngine eng(p, cache, tiny_sweep());
+    const SweepReport rep = eng.sweep();
+    EXPECT_TRUE(rep.finalized);
+    EXPECT_EQ(rep.resumed, 3u);
+    EXPECT_EQ(rep.computed, 1u);
+    EXPECT_EQ(read_file(cache), reference);
+  }
+
+  // Byte-level truncation (ragged final row, as a kill mid-write leaves):
+  // the damaged line is dropped, the three intact rows are salvaged, and
+  // only the lost point is re-simulated.
+  write_file(cache, reference.substr(0, cut + 11));
+  {
+    DseEngine eng(p, cache, tiny_sweep());
+    const SweepReport rep = eng.sweep();
+    EXPECT_TRUE(rep.finalized);
+    EXPECT_EQ(rep.resumed, 3u);
+    EXPECT_EQ(rep.computed, 1u);
+    EXPECT_EQ(read_file(cache), reference);
+  }
+
+  // A duplicated row is also rejected, salvaged, and rewritten cleanly.
+  const CsvDoc doc = CsvDoc::parse(reference);
+  CsvDoc dup(doc.header());
+  for (const auto& row : doc.rows()) dup.add_row(row);
+  dup.add_row(doc.rows()[1]);
+  dup.save(cache);
+  {
+    DseEngine eng(p, cache, tiny_sweep());
+    const SweepReport rep = eng.sweep();
+    EXPECT_TRUE(rep.finalized);
+    EXPECT_EQ(rep.computed, 0u);  // all four points salvaged
+    EXPECT_EQ(read_file(cache), reference);
+    eng.clear_cache();
+  }
+}
+
+TEST(DseEngine, ShardedJournalsMergeIntoSingleProcessResult) {
+  const std::string cache =
+      std::string(::testing::TempDir()) + "musa_dse_shard.csv";
+  Pipeline p(fast_options());
+  {
+    DseEngine fresh(p, cache, tiny_sweep());
+    fresh.clear_cache();
+    fresh.sweep();
+  }
+  const std::string reference = read_file(cache);
+  std::remove(cache.c_str());
+
+  DseEngine s0(p, cache, tiny_sweep(0, 2));
+  const SweepReport r0 = s0.sweep();
+  EXPECT_FALSE(r0.finalized);
+  EXPECT_EQ(r0.shard_points, 2u);
+  EXPECT_EQ(r0.computed, 2u);
+  EXPECT_THROW(s0.results(), SimError);  // siblings still missing
+  EXPECT_EQ(find_journals(cache).size(), 1u);
+
+  DseEngine s1(p, cache, tiny_sweep(1, 2));
+  const SweepReport r1 = s1.sweep();
+  EXPECT_TRUE(r1.finalized);  // last shard merges everything
+  EXPECT_EQ(r1.computed, 2u);
+  EXPECT_EQ(s1.results().size(), 4u);
+  EXPECT_EQ(read_file(cache), reference);
+  EXPECT_TRUE(find_journals(cache).empty());
+  s1.clear_cache();
+}
+
+TEST(DseEngine, PowerMetricsSkipUnknownDramPower) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "musa_dse_hbm.csv";
+  SimResult ddr;
+  ddr.app = "hydro";
+  ddr.region_seconds = 1.0;
+  ddr.wall_seconds = 2.0;
+  ddr.core_l1_w = 70.0;
+  ddr.l2_l3_w = 20.0;
+  ddr.dram_w = 10.0;
+  ddr.node_w = 100.0;
+  ddr.energy_j = 200.0;
+  SimResult hbm = ddr;
+  hbm.config.mem_tech = dramsim::MemTech::kHbm2;
+  hbm.config.mem_channels = 16;
+  hbm.region_seconds = 0.5;
+  hbm.dram_power_known = false;
+  hbm.dram_w = 0.0;
+  hbm.node_w = 90.0;  // partial: Core+L1 + L2+L3 only
+  hbm.energy_j = 0.0;
+  CsvDoc doc(DseEngine::csv_header());
+  doc.add_row(DseEngine::to_row(ddr));
+  doc.add_row(DseEngine::to_row(hbm));
+  doc.save(path);
+
+  SweepOptions opts;
+  opts.verbose = false;
+  opts.apps = {"hydro"};
+  opts.configs = {ddr.config, hbm.config};
+  Pipeline p(fast_options());
+  DseEngine dse(p, path, opts);
+
+  // Time metrics still see the HBM point...
+  const NormStat t = dse.normalized_ratio(
+      "hydro", 32, "channels", "16ch-HBM2", "4ch-DDR4-2333",
+      metrics::region_time);
+  EXPECT_EQ(t.n, 1);
+  EXPECT_NEAR(t.mean, 0.5, 1e-12);
+  // ...but power/energy aggregation excludes it instead of folding the
+  // partial node_w into the ratio.
+  const NormStat e = dse.normalized_ratio(
+      "hydro", 32, "channels", "16ch-HBM2", "4ch-DDR4-2333",
+      metrics::region_energy);
+  EXPECT_EQ(e.n, 0);
+  const NormStat pw =
+      dse.average("hydro", 32, "channels", "16ch-HBM2", metrics::node_power);
+  EXPECT_EQ(pw.n, 0);
+  const NormStat tw =
+      dse.average("hydro", 32, "channels", "16ch-HBM2", metrics::region_time);
+  EXPECT_EQ(tw.n, 1);
+  const auto split =
+      dse.power_split("hydro", 32, "channels", "16ch-HBM2", "4ch-DDR4-2333");
+  EXPECT_DOUBLE_EQ(split.core_l1, 0.0);
+  EXPECT_DOUBLE_EQ(split.l2_l3, 0.0);
+  EXPECT_DOUBLE_EQ(split.dram, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, StageTimesAccumulatePerRun) {
+  Pipeline p(fast_options());
+  MachineConfig c;
+  c.cores = 4;
+  c.ranks = 4;
+  EXPECT_EQ(p.stage_times().points, 0u);
+  p.run(apps::find_app("hydro"), c);
+  const StageTimes& st = p.stage_times();
+  EXPECT_EQ(st.points, 1u);
+  EXPECT_GT(st.kernel_s, 0.0);
+  EXPECT_GE(st.burst_s, 0.0);
+  EXPECT_GE(st.replay_s, 0.0);
+  EXPECT_GE(st.power_s, 0.0);
+  EXPECT_NEAR(st.total_s(),
+              st.burst_s + st.kernel_s + st.replay_s + st.power_s, 1e-12);
+  StageTimes other = st;
+  other.merge(st);
+  EXPECT_EQ(other.points, 2u);
+  EXPECT_DOUBLE_EQ(other.kernel_s, 2 * st.kernel_s);
+  p.reset_stage_times();
+  EXPECT_EQ(p.stage_times().points, 0u);
+}
+
+TEST(DseEngine, RejectsInvalidShardSpec) {
+  Pipeline p(fast_options());
+  SweepOptions bad;
+  bad.shard_index = 2;
+  bad.shard_count = 2;
+  EXPECT_THROW(DseEngine(p, "x.csv", bad), SimError);
+  SweepOptions no_cache = tiny_sweep(0, 2);
+  EXPECT_THROW(DseEngine(p, "", no_cache), SimError);
 }
 
 TEST(DseEngine, RejectsStaleCacheSchema) {

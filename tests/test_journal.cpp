@@ -1,0 +1,208 @@
+// Unit tests for the crash-safety layer: atomic file replacement, the
+// append-only result journal (checksums, truncated-tail recovery, schema
+// pinning), and journal discovery for sharded sweeps.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fsio.hpp"
+#include "common/journal.hpp"
+
+namespace musa {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  out << text;
+}
+
+const std::vector<std::string> kHeader = {"a", "b", "c"};
+
+TEST(Journal, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a test vectors; external tools (tools/journal_status.py)
+  // recompute these checksums and must agree byte-for-byte.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fsio, AtomicWriteReplacesContentAndLeavesNoTmp) {
+  const std::string path = tmp_path("musa_fsio_atomic.txt");
+  atomic_write_file(path, "first\n");
+  EXPECT_EQ(read_file(path), "first\n");
+  atomic_write_file(path, "second, longer content\n");
+  EXPECT_EQ(read_file(path), "second, longer content\n");
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  std::remove(path.c_str());
+}
+
+TEST(Fsio, DurableAppenderAppends) {
+  const std::string path = tmp_path("musa_fsio_append.txt");
+  std::remove(path.c_str());
+  {
+    DurableAppender out(path);
+    out.append("one\n");
+    out.append("two\n");
+  }
+  EXPECT_EQ(read_file(path), "one\ntwo\n");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, AppendReloadRoundTrip) {
+  const std::string path = tmp_path("musa_journal_rt.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    EXPECT_EQ(j.size(), 0u);
+    j.append("k1", {"1", "2", "3"});
+    j.append("k2", {"x", "y", "z"});
+    EXPECT_TRUE(j.contains("k1"));
+    EXPECT_FALSE(j.contains("k9"));
+  }
+  const ResultJournal::LoadResult lr = ResultJournal::read(path, kHeader);
+  EXPECT_FALSE(lr.schema_mismatch);
+  EXPECT_EQ(lr.dropped, 0u);
+  ASSERT_EQ(lr.entries.size(), 2u);
+  EXPECT_EQ(lr.entries.at("k2"),
+            (std::vector<std::string>{"x", "y", "z"}));
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DuplicateKeyKeepsLastRecord) {
+  const std::string path = tmp_path("musa_journal_dup.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("k", {"1", "1", "1"});
+    j.append("k", {"2", "2", "2"});
+    EXPECT_EQ(j.size(), 1u);
+  }
+  const auto lr = ResultJournal::read(path, kHeader);
+  ASSERT_EQ(lr.entries.size(), 1u);
+  EXPECT_EQ(lr.entries.at("k")[0], "2");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TruncatedTailIsDroppedAndRecovered) {
+  const std::string path = tmp_path("musa_journal_trunc.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("k1", {"1", "2", "3"});
+    j.append("k2", {"4", "5", "6"});
+    j.append("k3", {"7", "8", "9"});
+  }
+  // Chop bytes off the end, as a kill -9 mid-write would.
+  const std::string text = read_file(path);
+  write_file(path, text.substr(0, text.size() - 5));
+
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_FALSE(lr.schema_mismatch);
+  EXPECT_EQ(lr.entries.size(), 2u);  // k3's record lost its checksum
+  EXPECT_EQ(lr.dropped, 1u);
+  EXPECT_EQ(lr.entries.count("k3"), 0u);
+
+  // Reopening compacts the corrupt tail away and appends cleanly.
+  {
+    ResultJournal j(path, kHeader);
+    EXPECT_EQ(j.size(), 2u);
+    EXPECT_EQ(j.dropped_on_load(), 1u);
+    j.append("k3", {"7", "8", "9"});
+  }
+  const auto healed = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(healed.entries.size(), 3u);
+  EXPECT_EQ(healed.dropped, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CorruptedRecordFailsChecksum) {
+  const std::string path = tmp_path("musa_journal_flip.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("k1", {"1", "2", "3"});
+    j.append("k2", {"4", "5", "6"});
+  }
+  // Flip one payload byte of the first record (bit rot / partial write).
+  std::string text = read_file(path);
+  const auto pos = text.find("1,2,3");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos] = '9';
+  write_file(path, text);
+
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(lr.dropped, 1u);
+  EXPECT_EQ(lr.entries.size(), 1u);
+  EXPECT_EQ(lr.entries.count("k1"), 0u);  // never silently accepted
+  std::remove(path.c_str());
+}
+
+TEST(Journal, SchemaMismatchDiscardsWholesale) {
+  const std::string path = tmp_path("musa_journal_schema.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("k", {"1", "2", "3"});
+  }
+  const auto lr = ResultJournal::read(path, {"other", "columns"});
+  EXPECT_TRUE(lr.schema_mismatch);
+  EXPECT_TRUE(lr.entries.empty());
+  {
+    // Opening for writing under a new schema starts a fresh journal.
+    ResultJournal j(path, {"other", "columns"});
+    EXPECT_EQ(j.size(), 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, RejectsDelimiterInKeyOrCells) {
+  const std::string path = tmp_path("musa_journal_delim.journal");
+  std::remove(path.c_str());
+  ResultJournal j(path, kHeader);
+  EXPECT_THROW(j.append("bad\tkey", {"1", "2", "3"}), SimError);
+  EXPECT_THROW(j.append("k", {"1,5", "2", "3"}), SimError);
+  EXPECT_THROW(j.append("k", {"1", "2\n", "3"}), SimError);
+  EXPECT_THROW(j.append("k", {"1", "2"}), SimError);  // width mismatch
+  j.append("k", {"1", "2", "3"});
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FindJournalsMatchesCacheAndShardNames) {
+  const std::string base = tmp_path("musa_find_me.csv");
+  const std::vector<std::string> mine = {
+      base + ".journal",
+      base + ".shard-0-of-2.journal",
+      base + ".shard-1-of-2.journal",
+  };
+  for (const auto& p : mine) write_file(p, "x");
+  write_file(base, "the artifact itself");
+  write_file(base + ".journal.tmp", "in-flight compaction");
+  write_file(tmp_path("musa_find_other.csv.journal"), "different artifact");
+
+  const std::vector<std::string> found = find_journals(base);
+  EXPECT_EQ(found, mine);  // sorted, exact set
+
+  for (const auto& p : mine) std::remove(p.c_str());
+  std::remove(base.c_str());
+  std::remove((base + ".journal.tmp").c_str());
+  std::remove(tmp_path("musa_find_other.csv.journal").c_str());
+}
+
+}  // namespace
+}  // namespace musa
