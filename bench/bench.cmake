@@ -9,6 +9,7 @@ function(musa_add_bench name)
 endfunction()
 
 musa_add_bench(run_dse)
+musa_add_bench(dse_lint)
 musa_add_bench(ablation_model)
 musa_add_bench(power_report)
 musa_add_bench(dse_report)

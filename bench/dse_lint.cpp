@@ -1,0 +1,216 @@
+// Offline linter for the DSE tool-chain: checks machine configurations,
+// presets, result caches and crash-recovery journals against the
+// src/verify rule sets without running a single simulation.
+//
+// Usage: dse_lint [--presets] [--space] [--cache FILE] [--journal FILE]
+//                 [--rules] [-q]
+//   --presets       lint every built-in preset (cores, caches, DRAM techs)
+//   --space         lint the paper's 864-point grid and Table II configs
+//   --cache FILE    lint a result CSV: parse + config + result invariants
+//   --journal FILE  lint a sweep journal the same way
+//   --rules         print the rule catalogue and exit
+//   -q              suppress per-violation output (exit status only)
+//
+// With no mode flags, lints presets + space + the default cache
+// (MUSA_DSE_CACHE or ./dse_cache.csv) when it exists. Exits 0 when clean,
+// 1 on any violation, 2 on usage or unreadable input.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "common/journal.hpp"
+#include "fig_common.hpp"
+#include "verify/config_rules.hpp"
+#include "verify/invariants.hpp"
+
+namespace {
+
+using musa::verify::Violation;
+
+struct LintStats {
+  std::size_t subjects = 0;
+  std::vector<Violation> violations;
+  bool quiet = false;
+
+  void merge(std::vector<Violation> v, const char* where) {
+    for (auto& violation : v) {
+      if (!quiet)
+        std::fprintf(stderr, "%s: %s\n", where, violation.str().c_str());
+      violations.push_back(std::move(violation));
+    }
+  }
+};
+
+void lint_config(const musa::core::MachineConfig& config, const char* where,
+                 LintStats& stats) {
+  ++stats.subjects;
+  stats.merge(musa::verify::check_machine(config), where);
+}
+
+void lint_presets(LintStats& stats) {
+  using namespace musa;
+  for (const auto& core : cpusim::core_presets()) {
+    ++stats.subjects;
+    stats.merge(verify::core_rules().check(core, core.label), "preset");
+  }
+  for (const auto& label : core::ConfigSpace::cache_labels())
+    for (int cores : core::ConfigSpace::core_counts()) {
+      core::MachineConfig c;
+      c.cache_label = label;
+      c.cores = cores;
+      ++stats.subjects;
+      stats.merge(verify::hierarchy_rules().check(
+                      c.cache_config(cores),
+                      label + "@" + std::to_string(cores) + "c"),
+                  "preset");
+    }
+  for (auto tech :
+       {dramsim::MemTech::kDdr4_2333, dramsim::MemTech::kDdr4_2666,
+        dramsim::MemTech::kLpddr4_3200, dramsim::MemTech::kWideIo2,
+        dramsim::MemTech::kHbm2}) {
+    ++stats.subjects;
+    const dramsim::DramTiming t = dramsim::timing_for(tech);
+    stats.merge(verify::dram_rules().check(t, t.name), "preset");
+  }
+}
+
+void lint_space(LintStats& stats) {
+  using namespace musa;
+  for (const auto& config : core::ConfigSpace::full_space())
+    lint_config(config, "space", stats);
+  for (const char* app : {"spmz", "lulesh"})
+    for (const auto& [label, config] : core::ConfigSpace::unconventional(app))
+      lint_config(config, ("table2 " + label).c_str(), stats);
+}
+
+/// Shared row lint for caches and journal entries: parse, then config rules,
+/// then result invariants.
+void lint_row(const std::vector<std::string>& row, const std::string& where,
+              LintStats& stats) {
+  ++stats.subjects;
+  musa::core::SimResult r;
+  try {
+    r = musa::core::DseEngine::from_row(row);
+  } catch (const musa::SimError& e) {
+    stats.merge({{"row.parse", "row", e.what()}}, where.c_str());
+    return;
+  }
+  stats.merge(musa::verify::check_machine(r.config), where.c_str());
+  stats.merge(musa::verify::check_result(r), where.c_str());
+}
+
+int lint_cache(const std::string& path, LintStats& stats) {
+  using namespace musa;
+  CsvDoc doc;
+  try {
+    doc = CsvDoc::load(path);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "dse_lint: %s\n", e.what());
+    return 2;
+  }
+  if (doc.header() != core::DseEngine::csv_header()) {
+    stats.merge({{"cache.schema", path,
+                  "header does not match the DSE result schema"}},
+                path.c_str());
+    return 0;
+  }
+  for (std::size_t i = 0; i < doc.rows().size(); ++i)
+    lint_row(doc.rows()[i], path + ":" + std::to_string(i + 2), stats);
+  return 0;
+}
+
+int lint_journal(const std::string& path, LintStats& stats) {
+  using namespace musa;
+  if (!CsvDoc::file_exists(path)) {
+    std::fprintf(stderr, "dse_lint: no such journal: %s\n", path.c_str());
+    return 2;
+  }
+  const ResultJournal::LoadResult lr =
+      ResultJournal::read(path, core::DseEngine::csv_header());
+  if (lr.schema_mismatch) {
+    stats.merge({{"journal.schema", path,
+                  "journal header does not match the DSE result schema"}},
+                path.c_str());
+    return 0;
+  }
+  if (lr.dropped > 0)
+    stats.merge({{"journal.corrupt", path,
+                  std::to_string(lr.dropped) +
+                      " record(s) failed their checksum (crash damage)"}},
+                path.c_str());
+  for (const auto& [key, row] : lr.entries)
+    lint_row(row, path + "[" + key + "]", stats);
+  return 0;
+}
+
+void print_rules() {
+  using namespace musa;
+  const auto dump = [](const char* set, const auto& rules) {
+    std::printf("%s:\n", set);
+    for (const auto& rule : rules.rules())
+      std::printf("  %-26s %s\n", rule.id.c_str(), rule.summary.c_str());
+  };
+  dump("core (cpusim::CoreConfig)", verify::core_rules());
+  dump("cache (cachesim::HierarchyConfig)", verify::hierarchy_rules());
+  dump("dram (dramsim::DramTiming)", verify::dram_rules());
+  dump("machine (core::MachineConfig)", verify::machine_rules());
+  dump("result (core::SimResult)", verify::result_rules());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool presets = false, space = false, rules = false, quiet = false;
+  std::vector<std::string> caches, journals;
+  for (int a = 1; a < argc; ++a) {
+    const char* arg = argv[a];
+    if (std::strcmp(arg, "--presets") == 0) {
+      presets = true;
+    } else if (std::strcmp(arg, "--space") == 0) {
+      space = true;
+    } else if (std::strcmp(arg, "--rules") == 0) {
+      rules = true;
+    } else if (std::strcmp(arg, "-q") == 0) {
+      quiet = true;
+    } else if (std::strcmp(arg, "--cache") == 0 && a + 1 < argc) {
+      caches.emplace_back(argv[++a]);
+    } else if (std::strcmp(arg, "--journal") == 0 && a + 1 < argc) {
+      journals.emplace_back(argv[++a]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: dse_lint [--presets] [--space] [--cache FILE] "
+                   "[--journal FILE] [--rules] [-q]\n");
+      return 2;
+    }
+  }
+  if (rules) {
+    print_rules();
+    return 0;
+  }
+  if (!presets && !space && caches.empty() && journals.empty()) {
+    presets = space = true;
+    const std::string default_cache = musa::bench::dse_cache_path();
+    if (musa::CsvDoc::file_exists(default_cache))
+      caches.push_back(default_cache);
+  }
+
+  LintStats stats;
+  stats.quiet = quiet;
+  try {
+    if (presets) lint_presets(stats);
+    if (space) lint_space(stats);
+    for (const auto& path : caches)
+      if (int rc = lint_cache(path, stats); rc != 0) return rc;
+    for (const auto& path : journals)
+      if (int rc = lint_journal(path, stats); rc != 0) return rc;
+  } catch (const musa::SimError& e) {
+    std::fprintf(stderr, "dse_lint: %s\n", e.what());
+    return 2;
+  }
+
+  std::printf("dse_lint: %zu subject(s) checked, %zu violation(s)\n",
+              stats.subjects, stats.violations.size());
+  return stats.violations.empty() ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include "analysis/timeline.hpp"
 #include "apps/apps.hpp"
 #include "core/pipeline.hpp"
+#include "verify/invariants.hpp"
 
 int main() {
   using namespace musa;
@@ -18,6 +19,8 @@ int main() {
     const apps::AppModel& app = apps::find_app("spec3d");
     cpusim::NodeResult node;
     pipeline.run_burst(app, 64, /*ranks=*/1, &node, nullptr);
+    verify::raise_if(verify::check_core_timeline(node.timeline, 64,
+                                                 node.seconds, app.name));
     std::printf(
         "Fig. 3: Specfem3D task execution on a 64-core node\n"
         "('#' = task running, '.' = idle; low task parallelism leaves most "
@@ -33,6 +36,9 @@ int main() {
     const apps::AppModel& app = apps::find_app("lulesh");
     netsim::ReplayResult replay;
     pipeline.run_burst(app, 64, /*ranks=*/64, nullptr, &replay);
+    verify::raise_if(verify::check_rank_timeline(replay.timeline, 64,
+                                                 replay.total_seconds,
+                                                 app.name));
     std::printf(
         "Fig. 4: LULESH compute/MPI phases per rank (64 of 256 ranks "
         "rendered)\n"

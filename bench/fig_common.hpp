@@ -18,6 +18,8 @@ namespace musa::bench {
 /// DSE result cache shared by all figure benches (override with
 /// MUSA_DSE_CACHE; the sweep runs once and is reused afterwards).
 inline std::string dse_cache_path() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read once at bench startup,
+  // before any worker threads exist.
   if (const char* env = std::getenv("MUSA_DSE_CACHE")) return env;
   return "dse_cache.csv";
 }

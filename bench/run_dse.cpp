@@ -9,9 +9,12 @@
 //   run_dse --shard 1/2 &        # (run anywhere sharing the cache dir)
 //   wait; run_dse                # merges the journals into the cache
 //
-// Usage: run_dse [--force] [--shard i/N]
+// Usage: run_dse [--force] [--shard i/N] [--no-verify]
 //   --force      discard the cache and all journals, then sweep from scratch
 //   --shard i/N  compute only points with index % N == i (0 <= i < N)
+//   --no-verify  skip config lint and result-invariant enforcement
+//                (src/verify); for performance experiments only —
+//                `dse_lint` can re-check the cache afterwards
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +45,10 @@ void print_report(const musa::core::SweepReport& rep) {
     std::printf("  recovered from crash damage: %llu corrupt journal "
                 "record(s) dropped and recomputed\n",
                 static_cast<unsigned long long>(rep.dropped));
+  if (rep.invalid > 0)
+    std::printf("  verification: %llu cached row(s) violated result "
+                "invariants; dropped and recomputed\n",
+                static_cast<unsigned long long>(rep.invalid));
   const musa::core::StageTimes& st = rep.stages;
   if (st.points > 0) {
     std::printf("stage breakdown over %llu simulated points "
@@ -68,13 +75,16 @@ int main(int argc, char** argv) {
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--force") == 0) {
       force = true;
+    } else if (std::strcmp(argv[a], "--no-verify") == 0) {
+      opts.verify = false;
     } else if (std::strcmp(argv[a], "--shard") == 0 && a + 1 < argc) {
       if (!parse_shard(argv[++a], &opts)) {
         std::fprintf(stderr, "bad --shard spec (want i/N with 0 <= i < N)\n");
         return 2;
       }
     } else {
-      std::fprintf(stderr, "usage: run_dse [--force] [--shard i/N]\n");
+      std::fprintf(stderr,
+                   "usage: run_dse [--force] [--shard i/N] [--no-verify]\n");
       return 2;
     }
   }
@@ -92,6 +102,9 @@ int main(int argc, char** argv) {
   std::printf("cache file: %s\n", bench::dse_cache_path().c_str());
   if (opts.shard_count > 1)
     std::printf("shard %d of %d\n", opts.shard_index, opts.shard_count);
+  if (!opts.verify)
+    std::printf("verification DISABLED (--no-verify): configs and results "
+                "will not be checked; lint the cache with dse_lint later\n");
 
   const core::SweepReport rep = dse.sweep(force);
   print_report(rep);

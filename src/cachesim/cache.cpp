@@ -19,6 +19,8 @@ AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
   // Sets need not be a power of two (e.g. 96 MB L3), so index by modulo.
   const std::uint64_t set = line_addr % num_sets_;
   const std::uint64_t tag = line_addr / num_sets_;
+  MUSA_DCHECK_MSG((set + 1) * config_.ways <= lines_.size(),
+                  "set index out of range");
   Line* base = &lines_[set * config_.ways];
 
   Line* victim = base;

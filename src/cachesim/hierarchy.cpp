@@ -41,7 +41,8 @@ MemHierarchy::MemHierarchy(const HierarchyConfig& config)
 }
 
 MemOutcome MemHierarchy::access(int core, std::uint64_t addr, bool is_write) {
-  MUSA_CHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
+  // Hottest simulator path (one call per memory access): debug-only check.
+  MUSA_DCHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
   MemOutcome out;
 
   const AccessOutcome a1 = l1_[core].access(addr, is_write);

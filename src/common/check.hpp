@@ -37,3 +37,27 @@ namespace detail {
     if (!(expr))                                                         \
       ::musa::detail::check_failed(#expr, __FILE__, __LINE__, (msg));    \
   } while (0)
+
+/// Debug-only invariant check for hot inner loops (per-access, per-cycle
+/// paths) where an always-on MUSA_CHECK would cost measurable throughput.
+/// Enabled when MUSA_DCHECK_ENABLED is 1; by default that follows the build
+/// type (on unless NDEBUG). Override from the build system with
+/// -DMUSA_DCHECK_ENABLED=1 (the MUSA_DCHECK CMake option does this) to keep
+/// the checks in optimized builds.
+#ifndef MUSA_DCHECK_ENABLED
+#ifdef NDEBUG
+#define MUSA_DCHECK_ENABLED 0
+#else
+#define MUSA_DCHECK_ENABLED 1
+#endif
+#endif
+
+#if MUSA_DCHECK_ENABLED
+#define MUSA_DCHECK(expr) MUSA_CHECK(expr)
+#define MUSA_DCHECK_MSG(expr, msg) MUSA_CHECK_MSG(expr, msg)
+#else
+// sizeof keeps `expr` syntactically alive (no unused-variable warnings)
+// without evaluating it.
+#define MUSA_DCHECK(expr) static_cast<void>(sizeof(!(expr)))
+#define MUSA_DCHECK_MSG(expr, msg) static_cast<void>(sizeof(!(expr)))
+#endif

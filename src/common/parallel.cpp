@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <thread>
@@ -11,12 +13,29 @@
 
 namespace musa {
 
+namespace {
+/// Upper clamp for MUSA_THREADS: far above any real machine, low enough
+/// that a unit typo (e.g. "100000") cannot oversubscribe into an OOM.
+constexpr long kMaxThreads = 1024;
+}  // namespace
+
 int default_thread_count() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read before any worker spawns.
   if (const char* env = std::getenv("MUSA_THREADS")) {
-    const int n = std::atoi(env);
-    if (n >= 1) return n;
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(env, &end, 10);
+    // Strict parse: the whole value must be a non-negative decimal number.
+    // Garbage ("abc", "4x", ""), negatives, and overflow fall back to the
+    // hardware concurrency instead of whatever atoi would have returned.
+    if (end != env && *end == '\0' && errno == 0 && n >= 0)
+      return static_cast<int>(std::clamp(n, 1L, kMaxThreads));
+    std::fprintf(stderr,
+                 "[musa] ignoring invalid MUSA_THREADS=\"%s\" "
+                 "(want an integer in [0, %ld])\n",
+                 env, kMaxThreads);
   }
-  return std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
 }
 
 void parallel_blocks(
@@ -32,7 +51,7 @@ void parallel_blocks(
   }
 
   std::exception_ptr first_error;
-  std::atomic_flag error_latch = ATOMIC_FLAG_INIT;
+  std::atomic_flag error_latch;  // default-clear since C++20
   std::vector<std::thread> pool;
   pool.reserve(workers);
   const std::uint64_t block = (n + workers - 1) / workers;
@@ -73,7 +92,7 @@ void parallel_workers(int threads, const std::function<void(int)>& fn) {
     return;
   }
   std::exception_ptr first_error;
-  std::atomic_flag error_latch = ATOMIC_FLAG_INIT;
+  std::atomic_flag error_latch;  // default-clear since C++20
   std::vector<std::thread> pool;
   pool.reserve(workers);
   for (int w = 0; w < workers; ++w)

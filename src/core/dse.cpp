@@ -12,6 +12,8 @@
 #include "common/parallel.hpp"
 #include "common/progress.hpp"
 #include "common/stats.hpp"
+#include "verify/config_rules.hpp"
+#include "verify/invariants.hpp"
 
 namespace musa::core {
 
@@ -157,7 +159,8 @@ std::string DseEngine::journal_path() const {
 
 bool DseEngine::load_cache(
     const Plan& plan,
-    std::vector<std::pair<std::string, std::vector<std::string>>>* salvage) {
+    std::vector<std::pair<std::string, std::vector<std::string>>>* salvage,
+    std::size_t* invalid_out) {
   // Tolerant parse: a kill -9 during a non-atomic write (e.g. an external
   // tool touched the file) can leave a truncated last line. Salvage every
   // intact row rather than discarding hours of results over one bad line.
@@ -183,13 +186,20 @@ bool DseEngine::load_cache(
 
   std::vector<SimResult> parsed(plan.size());
   std::vector<char> seen(plan.size(), 0);
-  std::size_t valid = 0, foreign = 0, duplicate = 0;
+  std::size_t valid = 0, foreign = 0, duplicate = 0, invalid = 0;
   for (const auto& row : doc.rows()) {
     SimResult r;
     try {
       r = from_row(row);
     } catch (const SimError&) {
       ++bad;
+      continue;
+    }
+    // A parsable row that breaks the result invariants (negative energy,
+    // NaN IPC, super-peak bandwidth, ...) is corruption or a stale model:
+    // drop it like a checksum failure so the point is recomputed.
+    if (options_.verify && !verify::check_result(r).empty()) {
+      ++invalid;
       continue;
     }
     const auto it = index_of.find(point_key(r.app, r.config));
@@ -207,18 +217,21 @@ bool DseEngine::load_cache(
     if (salvage) salvage->emplace_back(plan.keys[it->second], row);
   }
 
-  if (valid == plan.size() && bad == 0 && foreign == 0 && duplicate == 0) {
+  if (invalid_out) *invalid_out = invalid;
+  if (valid == plan.size() && bad == 0 && foreign == 0 && duplicate == 0 &&
+      invalid == 0) {
     results_ = std::move(parsed);
     return true;
   }
   if (options_.verbose)
     std::fprintf(stderr,
                  "[dse] cache %s is incomplete: %zu/%llu points "
-                 "(%zu unparsable, %zu foreign, %zu duplicate rows); "
+                 "(%zu unparsable, %zu foreign, %zu duplicate, "
+                 "%zu invariant-violating rows); "
                  "resuming the missing points via the journal\n",
                  cache_path_.c_str(), valid,
                  static_cast<unsigned long long>(plan.size()), bad, foreign,
-                 duplicate);
+                 duplicate, invalid);
   return false;
 }
 
@@ -229,6 +242,10 @@ SweepReport DseEngine::sweep(bool force) {
     results_.clear();
   }
   const Plan plan = make_plan();
+  // Static config lint before any point simulates: a physically impossible
+  // sweep point must fail here, in milliseconds, not hours into the sweep.
+  if (options_.verify)
+    for (const auto& config : plan.configs) verify::validate_machine(config);
   SweepReport rep;
   rep.total = plan.size();
   for (std::uint64_t i = 0; i < plan.size(); ++i)
@@ -263,6 +280,9 @@ SweepReport DseEngine::sweep(bool force) {
         for (std::uint64_t t = begin; t < end; ++t) {
           const std::uint64_t idx = todo[t];
           const SimResult r = local.run(plan.app_of(idx), plan.config_of(idx));
+          // Fresh result: a violated invariant here is a model bug — throw
+          // (rethrown on the caller) rather than journal a bad point.
+          if (options_.verify) verify::verify_result(r);
           if (journal)
             journal->append(plan.keys[idx], to_row(r));
           else
@@ -289,7 +309,9 @@ SweepReport DseEngine::sweep(bool force) {
   }
 
   std::vector<std::pair<std::string, std::vector<std::string>>> salvage;
-  if (CsvDoc::file_exists(cache_path_) && load_cache(plan, &salvage)) {
+  std::size_t cache_invalid = 0;
+  if (CsvDoc::file_exists(cache_path_) &&
+      load_cache(plan, &salvage, &cache_invalid)) {
     // A crash between cache finalize and journal cleanup can leave stale
     // journals behind; the complete cache supersedes them.
     for (const auto& path : find_journals(cache_path_))
@@ -300,6 +322,8 @@ SweepReport DseEngine::sweep(bool force) {
     report_ = rep;
     return rep;
   }
+
+  rep.invalid += cache_invalid;
 
   // Resume state: this shard's journal, seeded with whatever a partial
   // cache could contribute, plus read-only views of sibling journals.
@@ -329,8 +353,30 @@ SweepReport DseEngine::sweep(bool force) {
     }
   };
 
+  // Journaled rows passed their checksum, but may still predate a model fix
+  // or carry invariant-violating metrics: drop those so the points recompute
+  // (appending under the same key supersedes the bad record).
+  const auto drop_invalid = [&](ResultJournal::Entries& entries, bool count) {
+    if (!options_.verify) return;
+    for (auto it = entries.begin(); it != entries.end();) {
+      bool ok;
+      try {
+        ok = verify::check_result(from_row(it->second)).empty();
+      } catch (const SimError&) {
+        ok = false;
+      }
+      if (ok) {
+        ++it;
+      } else {
+        if (count) ++rep.invalid;
+        it = entries.erase(it);
+      }
+    }
+  };
+
   ResultJournal::Entries known = journal.entries();
   merge_siblings(known);
+  drop_invalid(known, /*count=*/true);
 
   std::vector<std::uint64_t> missing;
   for (std::uint64_t i = 0; i < plan.size(); ++i) {
@@ -355,6 +401,7 @@ SweepReport DseEngine::sweep(bool force) {
   // one.
   known = journal.entries();
   merge_siblings(known);
+  drop_invalid(known, /*count=*/false);  // already counted before computing
   bool complete = true;
   for (const auto& key : plan.keys)
     if (known.find(key) == known.end()) {

@@ -81,6 +81,14 @@ struct SweepOptions {
   int shard_count = 1;
   bool verbose = true;  // progress / repair warnings on stderr
 
+  /// Cross-layer verification (src/verify): every config in the plan is
+  /// linted before any simulation runs, every freshly computed point is
+  /// checked against the physical-consistency invariants (violations throw
+  /// SimError naming the point), and cache/journal rows that violate them
+  /// are dropped and recomputed like any other corrupt record. Off =
+  /// `run_dse --no-verify`, for perf experiments only.
+  bool verify = true;
+
   /// Test hooks: restrict the plan to these configs / app names
   /// (empty → ConfigSpace::full_space() / every registry app).
   std::vector<MachineConfig> configs;
@@ -94,6 +102,7 @@ struct SweepReport {
   std::uint64_t resumed = 0;       // shard points already in cache/journals
   std::uint64_t computed = 0;      // points simulated by this call
   std::uint64_t dropped = 0;       // corrupt journal records discarded
+  std::uint64_t invalid = 0;       // loaded rows failing invariant checks
   bool finalized = false;          // cache CSV written (plan fully covered)
   StageTimes stages;               // per-stage wall time of computed points
 };
@@ -197,7 +206,8 @@ class DseEngine {
   /// what is valid into `salvage` and returns false.
   bool load_cache(const Plan& plan,
                   std::vector<std::pair<std::string,
-                                        std::vector<std::string>>>* salvage);
+                                        std::vector<std::string>>>* salvage,
+                  std::size_t* invalid_out = nullptr);
 
   Pipeline& pipeline_;
   std::string cache_path_;

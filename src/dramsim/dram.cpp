@@ -1,6 +1,7 @@
 #include "dramsim/dram.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.hpp"
 
@@ -134,6 +135,10 @@ void DramChannel::advance_refresh(double now_ns) {
 }
 
 double DramChannel::request(double now_ns, std::uint64_t addr, bool is_write) {
+  // Per-request path: debug-only guards against a caller feeding negative
+  // or non-finite times (which would wedge the refresh loop below).
+  MUSA_DCHECK_MSG(now_ns >= 0.0 && std::isfinite(now_ns),
+                  "bad request time");
   advance_refresh(now_ns);
 
   const std::uint64_t line = addr / 64;

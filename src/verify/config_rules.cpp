@@ -1,0 +1,261 @@
+#include "verify/config_rules.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+namespace musa::verify {
+
+namespace {
+
+/// Geometry shared by every cache level: at least one way, an integral and
+/// positive number of sets (CacheConfig::num_sets truncates, so a size that
+/// is not a multiple of line·ways would silently shrink the cache).
+std::string check_cache_geometry(const char* level,
+                                 const cachesim::CacheConfig& c) {
+  if (c.ways < 1)
+    return std::string(level) + " needs at least one way, " + kv("ways", c.ways);
+  const std::uint64_t set_bytes =
+      cachesim::kLineBytes * static_cast<std::uint64_t>(c.ways);
+  if (c.size_bytes < set_bytes)
+    return std::string(level) + " smaller than one set: " +
+           kv("size_bytes", c.size_bytes) + " < " + kv("line*ways", set_bytes);
+  if (c.size_bytes % set_bytes != 0)
+    return std::string(level) + " size not a multiple of line*ways (sets " +
+           "would truncate): " + kv("size_bytes", c.size_bytes) + ", " +
+           kv("line*ways", set_bytes);
+  if (c.latency_cycles < 1)
+    return std::string(level) + " hit latency must be >= 1 cycle, " +
+           kv("latency_cycles", c.latency_cycles);
+  return {};
+}
+
+}  // namespace
+
+const RuleSet<cpusim::CoreConfig>& core_rules() {
+  static const RuleSet<cpusim::CoreConfig> rules = [] {
+    RuleSet<cpusim::CoreConfig> r;
+    r.add("core.issue-width", "dispatch/commit width in [1, 16]",
+          [](const cpusim::CoreConfig& c) -> std::string {
+            if (c.issue_width < 1 || c.issue_width > 16)
+              return kv("issue_width", c.issue_width) + " outside [1, 16]";
+            return {};
+          });
+    r.add("core.rob", "ROB holds at least one dispatch group, at most 4096",
+          [](const cpusim::CoreConfig& c) -> std::string {
+            if (c.rob < c.issue_width || c.rob > 4096)
+              return kv("rob", c.rob) + " outside [" +
+                     kv("issue_width", c.issue_width) + ", 4096]";
+            return {};
+          });
+    r.add("core.units", "at least one ALU, FPU and load/store port",
+          [](const cpusim::CoreConfig& c) -> std::string {
+            if (c.alus < 1 || c.fpus < 1 || c.lsus < 1)
+              return kv("alus", c.alus) + ", " + kv("fpus", c.fpus) + ", " +
+                     kv("lsus", c.lsus) + " — all must be >= 1";
+            return {};
+          });
+    r.add("core.store-buffer", "store buffer holds at least one store",
+          [](const cpusim::CoreConfig& c) -> std::string {
+            if (c.store_buffer < 1)
+              return kv("store_buffer", c.store_buffer) + " must be >= 1";
+            return {};
+          });
+    r.add("core.regfiles",
+          "physical register files can rename a full dispatch group",
+          [](const cpusim::CoreConfig& c) -> std::string {
+            if (c.irf < c.issue_width || c.frf < 1)
+              return kv("irf", c.irf) + ", " + kv("frf", c.frf) +
+                     " too small for " + kv("issue_width", c.issue_width);
+            return {};
+          });
+    return r;
+  }();
+  return rules;
+}
+
+const RuleSet<cachesim::HierarchyConfig>& hierarchy_rules() {
+  static const RuleSet<cachesim::HierarchyConfig> rules = [] {
+    RuleSet<cachesim::HierarchyConfig> r;
+    r.add("cache.geometry",
+          "every level has >= 1 way, integral sets, latency >= 1",
+          [](const cachesim::HierarchyConfig& h) -> std::string {
+            if (std::string e = check_cache_geometry("L1", h.l1); !e.empty())
+              return e;
+            if (std::string e = check_cache_geometry("L2", h.l2); !e.empty())
+              return e;
+            return check_cache_geometry("L3", h.l3);
+          });
+    r.add("cache.pow2",
+          "private L1/L2 capacities and all way counts are powers of two",
+          [](const cachesim::HierarchyConfig& h) -> std::string {
+            if (!is_pow2(h.l1.size_bytes))
+              return "L1 " + kv("size_bytes", h.l1.size_bytes) +
+                     " not a power of two";
+            if (!is_pow2(h.l2.size_bytes))
+              return "L2 " + kv("size_bytes", h.l2.size_bytes) +
+                     " not a power of two";
+            for (const auto& [level, ways] :
+                 {std::pair{"L1", h.l1.ways}, std::pair{"L2", h.l2.ways},
+                  std::pair{"L3", h.l3.ways}})
+              if (!is_pow2(static_cast<std::uint64_t>(ways)))
+                return std::string(level) + " " + kv("ways", ways) +
+                       " not a power of two";
+            return {};
+          });
+    r.add("cache.inclusion",
+          "capacity ordering L1 <= L2 per core, num_cores*L2 <= shared L3",
+          [](const cachesim::HierarchyConfig& h) -> std::string {
+            if (h.l1.size_bytes > h.l2.size_bytes)
+              return "L1 " + kv("size_bytes", h.l1.size_bytes) +
+                     " exceeds L2 " + kv("size_bytes", h.l2.size_bytes);
+            const std::uint64_t l2_total =
+                h.l2.size_bytes * static_cast<std::uint64_t>(
+                                      std::max(1, h.num_cores));
+            if (l2_total > h.l3.size_bytes)
+              return "aggregate L2 " + kv("num_cores*l2", l2_total) +
+                     " exceeds shared L3 " + kv("size_bytes", h.l3.size_bytes);
+            return {};
+          });
+    r.add("cache.latency-order", "hit latency is monotone L1 <= L2 <= L3",
+          [](const cachesim::HierarchyConfig& h) -> std::string {
+            if (h.l1.latency_cycles > h.l2.latency_cycles ||
+                h.l2.latency_cycles > h.l3.latency_cycles)
+              return kv("l1", h.l1.latency_cycles) + ", " +
+                     kv("l2", h.l2.latency_cycles) + ", " +
+                     kv("l3", h.l3.latency_cycles) + " not monotone";
+            return {};
+          });
+    r.add("cache.cores", "hierarchy is sized for at least one core",
+          [](const cachesim::HierarchyConfig& h) -> std::string {
+            if (h.num_cores < 1)
+              return kv("num_cores", h.num_cores) + " must be >= 1";
+            return {};
+          });
+    return r;
+  }();
+  return rules;
+}
+
+const RuleSet<dramsim::DramTiming>& dram_rules() {
+  static const RuleSet<dramsim::DramTiming> rules = [] {
+    RuleSet<dramsim::DramTiming> r;
+    r.add("dram.positive",
+          "clock, core timings, geometry and bus width are all positive",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.tCK <= 0 || t.tRCD <= 0 || t.tRP <= 0 || t.tCAS <= 0 ||
+                t.tRAS <= 0 || t.tRFC <= 0 || t.tREFI <= 0 || t.tFAW < 0)
+              return "non-positive timing: " + kv("tCK", t.tCK) + ", " +
+                     kv("tRCD", t.tRCD) + ", " + kv("tRP", t.tRP) + ", " +
+                     kv("tCL", t.tCAS) + ", " + kv("tRAS", t.tRAS) + ", " +
+                     kv("tRFC", t.tRFC) + ", " + kv("tREFI", t.tREFI) +
+                     ", " + kv("tFAW", t.tFAW);
+            if (t.banks < 1 || t.ranks < 1 || t.bytes_per_clock <= 0)
+              return kv("banks", t.banks) + ", " + kv("ranks", t.ranks) +
+                     ", " + kv("bytes_per_clock", t.bytes_per_clock) +
+                     " — all must be positive";
+            return {};
+          });
+    r.add("dram.row-closure",
+          "tRAS covers activate-to-data: tRAS >= tRCD + tCL",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.tRAS < t.tRCD + t.tCAS)
+              return kv("tRAS", t.tRAS) + " < " + kv("tRCD", t.tRCD) +
+                     " + " + kv("tCL", t.tCAS);
+            return {};
+          });
+    r.add("dram.precharge", "tRP is at least one clock",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.tRP < t.tCK)
+              return kv("tRP", t.tRP) + " < " + kv("tCK", t.tCK);
+            return {};
+          });
+    r.add("dram.refresh", "a refresh cycle fits in its interval: tRFC < tREFI",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.tRFC >= t.tREFI)
+              return kv("tRFC", t.tRFC) + " >= " + kv("tREFI", t.tREFI);
+            return {};
+          });
+    r.add("dram.faw", "four-activate window covers four clocks",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.tFAW > 0 && t.tFAW < 4 * t.tCK)
+              return kv("tFAW", t.tFAW) + " < 4*" + kv("tCK", t.tCK);
+            return {};
+          });
+    r.add("dram.row-buffer",
+          "row buffer is a power of two and holds at least one line",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (t.row_bytes < cachesim::kLineBytes || !is_pow2(t.row_bytes))
+              return kv("row_bytes", t.row_bytes) +
+                     " must be a power of two >= 64";
+            return {};
+          });
+    r.add("dram.banks-pow2", "bank count is a power of two",
+          [](const dramsim::DramTiming& t) -> std::string {
+            if (!is_pow2(static_cast<std::uint64_t>(t.banks)))
+              return kv("banks", t.banks) + " not a power of two";
+            return {};
+          });
+    return r;
+  }();
+  return rules;
+}
+
+const RuleSet<core::MachineConfig>& machine_rules() {
+  static const RuleSet<core::MachineConfig> rules = [] {
+    RuleSet<core::MachineConfig> r;
+    r.add("freq.range", "core frequency in [0.1, 10] GHz",
+          [](const core::MachineConfig& c) -> std::string {
+            if (!(c.freq_ghz >= 0.1 && c.freq_ghz <= 10.0))
+              return kv("freq_ghz", c.freq_ghz) + " outside [0.1, 10]";
+            return {};
+          });
+    r.add("vector.width", "vector width a power of two in [64, 4096] bits",
+          [](const core::MachineConfig& c) -> std::string {
+            if (c.vector_bits < 64 || c.vector_bits > 4096 ||
+                !is_pow2(static_cast<std::uint64_t>(c.vector_bits)))
+              return kv("vector_bits", c.vector_bits) +
+                     " not a power of two in [64, 4096]";
+            return {};
+          });
+    r.add("mem.channels", "memory channel count in [1, 64]",
+          [](const core::MachineConfig& c) -> std::string {
+            if (c.mem_channels < 1 || c.mem_channels > 64)
+              return kv("mem_channels", c.mem_channels) + " outside [1, 64]";
+            return {};
+          });
+    r.add("machine.size", "cores in [1, 1024], ranks in [1, 1048576]",
+          [](const core::MachineConfig& c) -> std::string {
+            if (c.cores < 1 || c.cores > 1024)
+              return kv("cores", c.cores) + " outside [1, 1024]";
+            if (c.ranks < 1 || c.ranks > 1 << 20)
+              return kv("ranks", c.ranks) + " outside [1, 1048576]";
+            return {};
+          });
+    return r;
+  }();
+  return rules;
+}
+
+std::vector<Violation> check_machine(const core::MachineConfig& config) {
+  const std::string subject = config.id();
+  std::vector<Violation> out = machine_rules().check(config, subject);
+  const auto merge = [&out](std::vector<Violation> v) {
+    out.insert(out.end(), std::make_move_iterator(v.begin()),
+               std::make_move_iterator(v.end()));
+  };
+  merge(core_rules().check(config.core, subject));
+  try {
+    merge(hierarchy_rules().check(config.cache_config(config.cores), subject));
+  } catch (const SimError& e) {
+    out.push_back({"cache.label", subject, e.what()});
+  }
+  merge(dram_rules().check(dramsim::timing_for(config.mem_tech), subject));
+  return out;
+}
+
+void validate_machine(const core::MachineConfig& config) {
+  raise_if(check_machine(config));
+}
+
+}  // namespace musa::verify

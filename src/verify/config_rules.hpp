@@ -1,0 +1,44 @@
+// Static configuration linting: every sweep point is checked against these
+// rule sets *before* simulation, so a physically impossible machine (DRAM
+// timings that violate JEDEC closure, an L2 smaller than the L1 it backs, a
+// zero-width core) fails in milliseconds instead of polluting a multi-hour
+// sweep. `bench/dse_lint` exposes the same rules offline.
+#pragma once
+
+#include "cachesim/hierarchy.hpp"
+#include "core/config_space.hpp"
+#include "cpusim/core_config.hpp"
+#include "dramsim/timing.hpp"
+#include "verify/constraint.hpp"
+
+namespace musa::verify {
+
+/// OoO core structural bounds: positive widths and unit counts, a ROB that
+/// can hold at least one dispatch group, register files that can rename it.
+const RuleSet<cpusim::CoreConfig>& core_rules();
+
+/// Cache-hierarchy shape: per-level geometry (integral set count), L1/L2
+/// power-of-two capacity, capacity ordering L1 <= L2 and num_cores·L2 <= L3,
+/// monotone latencies. The shared L3 may be non-power-of-two (the paper's
+/// 96 MB point); it only needs an integral set count.
+const RuleSet<cachesim::HierarchyConfig>& hierarchy_rules();
+
+/// JEDEC-style timing-parameter closure: positive periods, row-cycle
+/// closure tRAS >= tRCD + tCL, refresh that fits its interval, power-of-two
+/// bank count and row size.
+const RuleSet<dramsim::DramTiming>& dram_rules();
+
+/// Machine-level dimensions: frequency range, power-of-two vector width,
+/// channel count, node/machine size.
+const RuleSet<core::MachineConfig>& machine_rules();
+
+/// Full cross-layer lint of one sweep point: machine_rules plus core_rules
+/// on the core preset, hierarchy_rules on the resolved cache config, and
+/// dram_rules on the resolved memory technology. An unresolvable cache
+/// label or memory tech is itself reported as a violation.
+std::vector<Violation> check_machine(const core::MachineConfig& config);
+
+/// Throws SimError naming the config id if check_machine() finds anything.
+void validate_machine(const core::MachineConfig& config);
+
+}  // namespace musa::verify

@@ -1,0 +1,47 @@
+#include "verify/constraint.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace musa::verify {
+
+std::string describe(const std::vector<Violation>& violations,
+                     std::size_t max_shown) {
+  std::string out;
+  for (std::size_t i = 0; i < violations.size(); ++i) {
+    if (i == max_shown) {
+      out += "  ... and " + std::to_string(violations.size() - max_shown) +
+             " more violation(s)\n";
+      break;
+    }
+    out += "  " + violations[i].str() + "\n";
+  }
+  if (!out.empty()) out.pop_back();  // trailing newline
+  return out;
+}
+
+void raise_if(const std::vector<Violation>& violations) {
+  if (violations.empty()) return;
+  throw SimError(std::to_string(violations.size()) +
+                 " constraint violation(s):\n" + describe(violations));
+}
+
+std::string kv(const char* name, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%g", name, value);
+  return buf;
+}
+
+std::string kv(const char* name, std::uint64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%" PRIu64, name, value);
+  return buf;
+}
+
+std::string kv(const char* name, std::int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%s=%" PRId64, name, value);
+  return buf;
+}
+
+}  // namespace musa::verify

@@ -1,0 +1,93 @@
+// Declarative constraint engine: named rules over configuration and result
+// types, evaluated before a sweep spends hours simulating (config rules) or
+// after results exist (invariants.hpp). A rule is a pure predicate that
+// either passes or explains its failure; a RuleSet evaluates every rule and
+// collects Violations instead of stopping at the first, so `dse_lint` can
+// report everything wrong with a sweep point at once. enforce() converts
+// violations into the library-wide musa::SimError.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace musa::verify {
+
+/// One failed constraint: which rule, on what subject, and why.
+struct Violation {
+  std::string rule;     // dotted rule id, e.g. "dram.row-closure"
+  std::string subject;  // what was checked, e.g. a config id or CSV row
+  std::string detail;   // offending values, human-readable
+
+  std::string str() const { return subject + ": " + rule + ": " + detail; }
+};
+
+/// Formats violations for an exception message or a lint report (one per
+/// line, capped at `max_shown` with a "... and N more" tail).
+std::string describe(const std::vector<Violation>& violations,
+                     std::size_t max_shown = 8);
+
+/// Throws SimError listing `violations`; no-op when the list is empty.
+void raise_if(const std::vector<Violation>& violations);
+
+/// A named set of constraints over one subject type. Rules are registered
+/// once (typically into a function-local static) and evaluated many times.
+template <typename T>
+class RuleSet {
+ public:
+  /// Check function: returns "" when the rule holds, otherwise the failure
+  /// detail (offending values included by the rule author).
+  using CheckFn = std::function<std::string(const T&)>;
+
+  struct Rule {
+    std::string id;       // dotted id, unique within the set
+    std::string summary;  // one-line description for `dse_lint --rules`
+    CheckFn check;
+  };
+
+  RuleSet& add(std::string id, std::string summary, CheckFn check) {
+    rules_.push_back(
+        {std::move(id), std::move(summary), std::move(check)});
+    return *this;
+  }
+
+  /// Evaluates every rule against `value`; `subject` names the value in the
+  /// returned violations (e.g. the machine-config id).
+  std::vector<Violation> check(const T& value,
+                               const std::string& subject) const {
+    std::vector<Violation> out;
+    for (const auto& rule : rules_) {
+      std::string detail = rule.check(value);
+      if (!detail.empty())
+        out.push_back({rule.id, subject, std::move(detail)});
+    }
+    return out;
+  }
+
+  /// Like check(), but throws SimError on the first evaluation that found
+  /// any violation.
+  void enforce(const T& value, const std::string& subject) const {
+    raise_if(check(value, subject));
+  }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// True if `v` is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+/// Shorthand for rule authors: "name=value" with %g formatting.
+std::string kv(const char* name, double value);
+std::string kv(const char* name, std::uint64_t value);
+std::string kv(const char* name, std::int64_t value);
+inline std::string kv(const char* name, int value) {
+  return kv(name, static_cast<std::int64_t>(value));
+}
+
+}  // namespace musa::verify
