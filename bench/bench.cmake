@@ -10,6 +10,7 @@ endfunction()
 
 musa_add_bench(run_dse)
 musa_add_bench(dse_lint)
+musa_add_bench(sweep_bench)
 musa_add_bench(ablation_model)
 musa_add_bench(power_report)
 musa_add_bench(dse_report)

@@ -9,12 +9,16 @@
 //   run_dse --shard 1/2 &        # (run anywhere sharing the cache dir)
 //   wait; run_dse                # merges the journals into the cache
 //
-// Usage: run_dse [--force] [--shard i/N] [--no-verify]
+// Usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]
 //   --force      discard the cache and all journals, then sweep from scratch
 //   --shard i/N  compute only points with index % N == i (0 <= i < N)
 //   --no-verify  skip config lint and result-invariant enforcement
 //                (src/verify); for performance experiments only —
 //                `dse_lint` can re-check the cache afterwards
+//   --no-memo    disable the shared cross-point stage memo
+//                (core/stage_memo.hpp): every stage recomputes per point.
+//                Results are bit-identical with or without it; use this to
+//                bisect a suspected memo-staleness bug
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -64,6 +68,23 @@ void print_report(const musa::core::SweepReport& rep) {
     line("MPI replay", st.replay_s);
     line("power", st.power_s);
   }
+  const musa::core::MemoStats& m = rep.memo;
+  if (m.total_hits() + m.total_misses() > 0) {
+    std::printf("stage memo hit rates (hits/lookups):\n");
+    const auto line = [](const char* name, std::uint64_t hits,
+                         std::uint64_t misses) {
+      std::printf("  %-12s %8llu/%-8llu (%5.1f%%)\n", name,
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(hits + misses),
+                  100.0 * musa::core::MemoStats::rate(hits, misses));
+    };
+    line("burst", m.burst_hits, m.burst_misses);
+    line("region", m.region_hits, m.region_misses);
+    line("trace", m.trace_hits, m.trace_misses);
+    line("stream", m.stream_hits, m.stream_misses);
+    line("warm state", m.warm_hits, m.warm_misses);
+    line("perfect mem", m.perfect_hits, m.perfect_misses);
+  }
 }
 
 }  // namespace
@@ -77,6 +98,8 @@ int main(int argc, char** argv) {
       force = true;
     } else if (std::strcmp(argv[a], "--no-verify") == 0) {
       opts.verify = false;
+    } else if (std::strcmp(argv[a], "--no-memo") == 0) {
+      opts.memoize = false;
     } else if (std::strcmp(argv[a], "--shard") == 0 && a + 1 < argc) {
       if (!parse_shard(argv[++a], &opts)) {
         std::fprintf(stderr, "bad --shard spec (want i/N with 0 <= i < N)\n");
@@ -84,7 +107,8 @@ int main(int argc, char** argv) {
       }
     } else {
       std::fprintf(stderr,
-                   "usage: run_dse [--force] [--shard i/N] [--no-verify]\n");
+                   "usage: run_dse [--force] [--shard i/N] [--no-verify] "
+                   "[--no-memo]\n");
       return 2;
     }
   }

@@ -10,15 +10,18 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
                  "cache smaller than one set");
   num_sets_ = config.num_sets();
   MUSA_CHECK_MSG(num_sets_ > 0, "cache has zero sets");
+  if ((num_sets_ & (num_sets_ - 1)) == 0) {
+    set_mask_ = num_sets_ - 1;
+    while ((1ull << tag_shift_) < num_sets_) ++tag_shift_;
+  }
   lines_.assign(num_sets_ * config.ways, Line{});
 }
 
 AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
   ++stats_.accesses;
   const std::uint64_t line_addr = addr / kLineBytes;
-  // Sets need not be a power of two (e.g. 96 MB L3), so index by modulo.
-  const std::uint64_t set = line_addr % num_sets_;
-  const std::uint64_t tag = line_addr / num_sets_;
+  std::uint64_t set, tag;
+  split(line_addr, set, tag);
   MUSA_DCHECK_MSG((set + 1) * config_.ways <= lines_.size(),
                   "set index out of range");
   Line* base = &lines_[set * config_.ways];
@@ -54,8 +57,8 @@ AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
 
 bool Cache::probe(std::uint64_t addr) const {
   const std::uint64_t line_addr = addr / kLineBytes;
-  const std::uint64_t set = line_addr % num_sets_;
-  const std::uint64_t tag = line_addr / num_sets_;
+  std::uint64_t set, tag;
+  split(line_addr, set, tag);
   const Line* base = &lines_[set * config_.ways];
   for (int w = 0; w < config_.ways; ++w)
     if (base[w].valid && base[w].tag == tag) return true;

@@ -69,10 +69,27 @@ class Cache {
     bool dirty = false;
   };
 
+  /// Set/tag split of a line address. Most arrays have power-of-two set
+  /// counts, where the div/mod pair (20+ cycle latency each, on every access
+  /// of the sweep hot path) reduces to mask and shift; the generic path
+  /// stays for scaled L3 shares, whose set counts are arbitrary.
+  void split(std::uint64_t line_addr, std::uint64_t& set,
+             std::uint64_t& tag) const {
+    if (set_mask_ != 0) {
+      set = line_addr & set_mask_;
+      tag = line_addr >> tag_shift_;
+    } else {
+      set = line_addr % num_sets_;
+      tag = line_addr / num_sets_;
+    }
+  }
+
   CacheConfig config_;
   CacheStats stats_;
   std::vector<Line> lines_;  // sets × ways, row-major by set
   std::uint64_t num_sets_;
+  std::uint64_t set_mask_ = 0;  // num_sets_ - 1 if power of two, else 0
+  int tag_shift_ = 0;
   std::uint64_t stamp_ = 0;
 };
 

@@ -1,0 +1,153 @@
+// Open-addressed hash table for 64-bit keys on simulator hot paths.
+//
+// The prefetcher's region/in-flight tables sit on the per-memory-access
+// path of the core model; std::unordered_map costs a node allocation per
+// insert and a pointer chase per probe there. FlatTable64 stores key/value
+// slots contiguously (linear probing, backward-shift deletion, power-of-two
+// capacity), so the common hit is one cache line and inserts never allocate
+// until the table grows.
+//
+// Not a general-purpose map: keys are raw uint64_t, the value ~0ull is
+// reserved as the empty-slot sentinel, and iteration order is unspecified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace musa {
+
+template <typename V>
+class FlatTable64 {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  /// `expected` sizes the table for that many entries without growth
+  /// (capacity = next power of two above expected / kMaxLoad).
+  explicit FlatTable64(std::size_t expected = 16) {
+    std::size_t cap = 16;
+    while (cap * kMaxLoadNum < expected * kMaxLoadDen) cap <<= 1;
+    slots_.assign(cap, Slot{});
+    mask_ = cap - 1;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return slots_.size(); }
+
+  void clear() {
+    for (auto& s : slots_) s.key = kEmptyKey;
+    size_ = 0;
+  }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  V* find(std::uint64_t key) {
+    std::size_t i = probe_of(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return &s.value;
+      if (s.key == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatTable64*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Value for `key`, default-constructing it if absent (operator[]).
+  V& find_or_insert(std::uint64_t key) {
+    MUSA_DCHECK_MSG(key != kEmptyKey, "key collides with empty sentinel");
+    std::size_t i = probe_of(key);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.key == key) return s.value;
+      if (s.key == kEmptyKey) {
+        if ((size_ + 1) * kMaxLoadDen > capacity() * kMaxLoadNum) {
+          grow();
+          return find_or_insert(key);
+        }
+        s.key = key;
+        s.value = V{};
+        ++size_;
+        return s.value;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Inserts key -> value, overwriting any existing entry.
+  void insert(std::uint64_t key, const V& value) {
+    find_or_insert(key) = value;
+  }
+
+  /// Removes `key` if present; returns whether an entry was removed.
+  /// Backward-shift deletion keeps probe sequences intact with no
+  /// tombstones, so lookup cost never degrades with churn.
+  bool erase(std::uint64_t key) {
+    std::size_t i = probe_of(key);
+    while (true) {
+      if (slots_[i].key == kEmptyKey) return false;
+      if (slots_[i].key == key) break;
+      i = (i + 1) & mask_;
+    }
+    std::size_t hole = i;
+    std::size_t j = (i + 1) & mask_;
+    while (slots_[j].key != kEmptyKey) {
+      const std::size_t home = probe_of(slots_[j].key);
+      // Shift j back into the hole unless j sits between its home slot and
+      // the hole (cyclically), in which case the probe chain still works.
+      const bool keep = ((j - home) & mask_) < ((j - hole) & mask_);
+      if (!keep) {
+        slots_[hole] = slots_[j];
+        hole = j;
+      }
+      j = (j + 1) & mask_;
+    }
+    slots_[hole].key = kEmptyKey;
+    --size_;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = kEmptyKey;
+    V value{};
+  };
+
+  // Max load factor 7/8: probes stay short while slots stay dense.
+  static constexpr std::size_t kMaxLoadNum = 7;
+  static constexpr std::size_t kMaxLoadDen = 8;
+
+  std::size_t probe_of(std::uint64_t key) const {
+    // Fibonacci hashing spreads dense keys (line numbers, region ids)
+    // across the table; a multiply is cheaper than a general hash.
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ull) >>
+                                    (64 - __builtin_ctzll(mask_ + 1))) &
+           mask_;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.key != kEmptyKey) {
+        // Re-insert without load-factor checks: capacity already doubled.
+        std::size_t i = probe_of(s.key);
+        while (slots_[i].key != kEmptyKey) i = (i + 1) & mask_;
+        slots_[i] = s;
+        ++size_;
+      }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace musa

@@ -261,9 +261,16 @@ SweepReport DseEngine::sweep(bool force) {
   }
 
   // Every simulation point is independent. Workers own a private Pipeline
-  // (it memoises traces and is not shared across threads) and steal points
-  // one at a time from a shared queue — points vary >10x in cost across
-  // apps, so static blocks would idle threads at the tail.
+  // and steal points one at a time from a shared queue — points vary >10x
+  // in cost across apps, so static blocks would idle threads at the tail.
+  // The pipelines share one thread-safe StageMemo (unless --no-memo), so
+  // cross-point-redundant stages are computed once per distinct input.
+  std::shared_ptr<StageMemo> memo;
+  if (options_.memoize)
+    memo = pipeline_.memo() ? pipeline_.memo()
+                            : std::make_shared<StageMemo>(
+                                  pipeline_options_fingerprint(
+                                      pipeline_.options()));
   const auto run_points = [&](const std::vector<std::uint64_t>& todo,
                               ResultJournal* journal) {
     if (todo.empty()) return;
@@ -274,7 +281,7 @@ SweepReport DseEngine::sweep(bool force) {
         std::max(1, default_thread_count()), todo.size()));
     std::mutex merge_mu;
     parallel_workers(threads, [&](int) {
-      Pipeline local(pipeline_.options());
+      Pipeline local(pipeline_.options(), memo);
       std::uint64_t begin = 0, end = 0;
       while (queue.next(begin, end))
         for (std::uint64_t t = begin; t < end; ++t) {
@@ -293,6 +300,7 @@ SweepReport DseEngine::sweep(bool force) {
       rep.stages.merge(local.stage_times());
     });
     rep.computed += todo.size();
+    if (memo) rep.memo = memo->stats();
   };
 
   if (cache_path_.empty()) {

@@ -89,6 +89,14 @@ struct SweepOptions {
   /// `run_dse --no-verify`, for perf experiments only.
   bool verify = true;
 
+  /// Cross-point stage memoization (core/stage_memo.hpp): all workers share
+  /// one StageMemo, so the burst pre-pass, kernel streams, warm-up cache
+  /// states, perfect-memory runs and region/trace generation are computed
+  /// once per distinct input instead of once per point. Results are
+  /// bit-identical either way; `run_dse --no-memo` turns it off to bisect
+  /// a suspected staleness bug (DESIGN.md explains the argument).
+  bool memoize = true;
+
   /// Test hooks: restrict the plan to these configs / app names
   /// (empty → ConfigSpace::full_space() / every registry app).
   std::vector<MachineConfig> configs;
@@ -105,6 +113,7 @@ struct SweepReport {
   std::uint64_t invalid = 0;       // loaded rows failing invariant checks
   bool finalized = false;          // cache CSV written (plan fully covered)
   StageTimes stages;               // per-stage wall time of computed points
+  MemoStats memo;                  // shared-memo hit/miss counters
 };
 
 class DseEngine {

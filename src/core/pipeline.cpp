@@ -79,32 +79,46 @@ double makespan_jitter_sigma(const apps::AppModel& app, int cores) {
 
 }  // namespace
 
-Pipeline::Pipeline(PipelineOptions options) : options_(options) {
+std::uint64_t pipeline_options_fingerprint(const PipelineOptions& o) {
+  std::uint64_t h = fnv1a_bytes(&o.seed, sizeof(o.seed));
+  h = fnv1a_bytes(&o.warm_instrs, sizeof(o.warm_instrs), h);
+  h = fnv1a_bytes(&o.measure_instrs, sizeof(o.measure_instrs), h);
+  h = fnv1a_bytes(&o.cache_scale, sizeof(o.cache_scale), h);
+  h = fnv1a_bytes(&o.node_bw_efficiency, sizeof(o.node_bw_efficiency), h);
+  return h;
+}
+
+Pipeline::Pipeline(PipelineOptions options, std::shared_ptr<StageMemo> memo)
+    : options_(options), memo_(std::move(memo)) {
   MUSA_CHECK_MSG(options_.measure_instrs > 0, "need a measured trace slice");
   MUSA_CHECK_MSG(options_.cache_scale >= 1, "cache scale must be >= 1");
+  if (memo_)
+    MUSA_CHECK_MSG(memo_->options_fingerprint() ==
+                       pipeline_options_fingerprint(options_),
+                   "stage memo was built for different pipeline options");
 }
 
 const trace::Region& Pipeline::region_of(const apps::AppModel& app,
                                          std::size_t phase) {
-  const std::string key = app.name + "#" + std::to_string(phase);
+  auto make = [&] {
+    return apps::make_region(app.phases().at(phase), options_.seed + phase);
+  };
+  if (memo_) return memo_->region(app, phase, make);
+  const MemoKey key{app_fingerprint(app), phase};
   auto it = regions_.find(key);
-  if (it == regions_.end())
-    it = regions_
-             .emplace(key, apps::make_region(app.phases().at(phase),
-                                             options_.seed + phase))
-             .first;
+  if (it == regions_.end()) it = regions_.emplace(key, make()).first;
   return it->second;
 }
 
 const trace::AppTrace& Pipeline::trace_of(const apps::AppModel& app,
                                           int ranks) {
-  const std::string key = app.name + "/" + std::to_string(ranks);
+  auto make = [&] {
+    return apps::make_burst_trace(app, ranks, options_.seed + 1);
+  };
+  if (memo_) return memo_->trace(app, ranks, make);
+  const MemoKey key{app_fingerprint(app), static_cast<std::uint64_t>(ranks)};
   auto it = traces_.find(key);
-  if (it == traces_.end())
-    it = traces_
-             .emplace(key, apps::make_burst_trace(app, ranks,
-                                                  options_.seed + 1))
-             .first;
+  if (it == traces_.end()) it = traces_.emplace(key, make()).first;
   return it->second;
 }
 
@@ -146,6 +160,7 @@ BurstResult Pipeline::run_burst(const apps::AppModel& app, int cores,
 }
 
 Pipeline::DetailedTiming Pipeline::simulate_kernel(
+    const apps::AppModel& app, std::size_t phase_index,
     const apps::Phase& phase, const MachineConfig& config,
     double active_cores) {
   const Frequency freq{config.freq_ghz};
@@ -161,6 +176,18 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
   const trace::KernelProfile profile =
       scale_profile(phase.kernel, options_.cache_scale);
 
+  // The DRAM system is genuinely per-point (technology, channels and the
+  // active-core bandwidth share all vary), so it is never memoized.
+  dramsim::DramTiming dram_timing = dramsim::timing_for(config.mem_tech);
+  if (config.cores > 1)
+    dram_timing.bytes_per_clock /= std::max(1.0, active_cores);
+  dramsim::DramSystem dram(dram_timing, config.mem_channels);
+
+  const cpusim::CoreRunOptions measure_opts{.vector_bits =
+                                                config.vector_bits};
+  const cpusim::CoreRunOptions perfect_opts{
+      .vector_bits = config.vector_bits, .perfect_memory = true};
+
   // --- Measured run (after cache warm-up) --------------------------------
   // The detailed simulation models one core of the node, so it sees its
   // *share* of the memory system: the data bus time-multiplexes across the
@@ -168,39 +195,86 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
   // lever behind LULESH's 8-channel gains, and the reason wider OoO cannot
   // buy more MLP on saturated channels) then emerges inside the DRAM model
   // itself rather than from an analytic correction.
-  cachesim::MemHierarchy hierarchy(caches);
-  dramsim::DramTiming dram_timing = dramsim::timing_for(config.mem_tech);
-  if (config.cores > 1)
-    dram_timing.bytes_per_clock /= std::max(1.0, active_cores);
-  dramsim::DramSystem dram(dram_timing, config.mem_channels);
-  trace::KernelSource source(
-      profile, options_.warm_instrs + options_.measure_instrs,
-      options_.seed * 7919 + 17);
-  cpusim::CoreModel core(config.core, freq, hierarchy, dram);
+  cpusim::CoreStats stats;
+  double perfect_cpi = 0.0;
+  if (memo_) {
+    // Memoized path: replay the materialized per-(app, phase) stream, start
+    // the measured run from the memoized post-warm-up cache snapshot, and
+    // reuse the perfect-memory CPI across the dimensions it ignores. Every
+    // reused value is bit-identical to what the branch below recomputes
+    // (stage_memo.hpp explains why), as TestStageMemo proves.
+    const StageMemo::KernelStreams& streams =
+        memo_->streams(app, phase_index, [&] {
+          StageMemo::KernelStreams s;
+          trace::KernelSource full(
+              profile, options_.warm_instrs + options_.measure_instrs,
+              options_.seed * 7919 + 17);
+          for (isa::Instr in; full.next(in);) s.full.push_back(in);
+          trace::KernelSource perfect(profile, options_.measure_instrs / 4,
+                                      options_.seed * 7919 + 17);
+          for (isa::Instr in; perfect.next(in);) s.perfect.push_back(in);
+          return s;
+        });
+    MUSA_DCHECK_MSG(streams.full.size() >= options_.warm_instrs,
+                    "kernel stream shorter than the warm-up slice");
 
-  functional_warm(source, hierarchy, options_.warm_instrs);
-  hierarchy.reset_stats();
-  dram.reset_counters();
+    const MemoKey wkey = StageMemo::warm_key(app, phase_index, caches);
+    const cachesim::MemHierarchy* snapshot = memo_->find_warm(wkey);
+    cachesim::MemHierarchy hierarchy =
+        snapshot ? *snapshot : cachesim::MemHierarchy(caches);
+    if (snapshot == nullptr) {
+      trace::SpanSource warm_source(streams.full);
+      functional_warm(warm_source, hierarchy, options_.warm_instrs);
+      hierarchy.reset_stats();
+      memo_->store_warm(wkey, hierarchy);
+    }
 
-  cpusim::CoreRunOptions measure_opts{.vector_bits = config.vector_bits};
-  const cpusim::CoreStats stats = core.run(source, measure_opts);
+    cpusim::CoreModel core(config.core, freq, hierarchy, dram);
+    // Positioned exactly where functional_warm left the generator stream.
+    trace::SpanSource source(streams.full, options_.warm_instrs);
+    stats = core.run(source, measure_opts);
+
+    // --- Perfect-memory run (memory stall attribution) -------------------
+    perfect_cpi = memo_->perfect_cpi(
+        app, phase_index, config.core, config.vector_bits, [&] {
+          cachesim::MemHierarchy perfect_hierarchy(caches);
+          dramsim::DramSystem perfect_dram(
+              dramsim::timing_for(config.mem_tech), 1);
+          trace::SpanSource psource(streams.perfect);
+          cpusim::CoreModel pcore(config.core, freq, perfect_hierarchy,
+                                  perfect_dram);
+          const cpusim::CoreStats pstats = pcore.run(psource, perfect_opts);
+          return pstats.cycles /
+                 static_cast<double>(pstats.scalar_instrs);
+        });
+  } else {
+    cachesim::MemHierarchy hierarchy(caches);
+    trace::KernelSource source(
+        profile, options_.warm_instrs + options_.measure_instrs,
+        options_.seed * 7919 + 17);
+    cpusim::CoreModel core(config.core, freq, hierarchy, dram);
+
+    functional_warm(source, hierarchy, options_.warm_instrs);
+    hierarchy.reset_stats();
+    dram.reset_counters();
+
+    stats = core.run(source, measure_opts);
+
+    // --- Perfect-memory run (memory stall attribution) -------------------
+    // A quarter slice converges: the perfect-memory CPI is stationary.
+    cachesim::MemHierarchy ph(caches);  // untouched under perfect_memory
+    dramsim::DramSystem pd(dramsim::timing_for(config.mem_tech), 1);
+    trace::KernelSource psource(profile, options_.measure_instrs / 4,
+                                options_.seed * 7919 + 17);
+    cpusim::CoreModel pcore(config.core, freq, ph, pd);
+    const cpusim::CoreStats pstats = pcore.run(psource, perfect_opts);
+    perfect_cpi = pstats.cycles / static_cast<double>(pstats.scalar_instrs);
+  }
   MUSA_CHECK_MSG(stats.scalar_instrs > 0, "kernel produced no instructions");
-
-  // --- Perfect-memory run (memory stall attribution) ---------------------
-  // A quarter slice converges: the perfect-memory CPI is stationary.
-  cachesim::MemHierarchy ph(caches);  // untouched under perfect_memory
-  dramsim::DramSystem pd(dramsim::timing_for(config.mem_tech), 1);
-  trace::KernelSource psource(profile, options_.measure_instrs / 4,
-                              options_.seed * 7919 + 17);
-  cpusim::CoreModel pcore(config.core, freq, ph, pd);
-  const cpusim::CoreStats pstats = pcore.run(
-      psource, {.vector_bits = config.vector_bits, .perfect_memory = true});
 
   DetailedTiming out;
   const auto instrs = static_cast<double>(stats.scalar_instrs);
   const double cpi = stats.cycles / instrs;
-  const double perfect_cpi =
-      pstats.cycles / static_cast<double>(pstats.scalar_instrs);
   out.ipc = 1.0 / cpi;
   out.task.seconds_per_work = cpi * phase.task_instrs / freq.hz();
   out.task.mem_stall_frac =
@@ -239,14 +313,25 @@ SimResult Pipeline::run(const apps::AppModel& app,
   const std::vector<apps::Phase> phases = app.phases();
 
   // Burst-mode pre-pass estimates how many cores actually hold tasks
-  // (drives the L3 capacity share in detailed mode).
+  // (drives the L3 capacity share in detailed mode). It depends only on
+  // (app, cores) — 3 distinct values per app across the whole sweep — so
+  // with a memo attached the full pre-pass runs once per pair.
   auto stage_t0 = std::chrono::steady_clock::now();
-  cpusim::NodeResult burst_node;
-  run_burst(app, config.cores, /*ranks=*/1, &burst_node, nullptr);
+  double burst_concurrency = 0.0;
+  if (memo_) {
+    burst_concurrency = memo_->burst_concurrency(app, config.cores, [&] {
+      cpusim::NodeResult burst_node;
+      run_burst(app, config.cores, /*ranks=*/1, &burst_node, nullptr);
+      return burst_node.avg_concurrency;
+    });
+  } else {
+    cpusim::NodeResult burst_node;
+    run_burst(app, config.cores, /*ranks=*/1, &burst_node, nullptr);
+    burst_concurrency = burst_node.avg_concurrency;
+  }
   stage_times_.burst_s += lap_s(stage_t0);
-  const double active_cores =
-      std::clamp(burst_node.avg_concurrency, 1.0,
-                 static_cast<double>(config.cores));
+  const double active_cores = std::clamp(
+      burst_concurrency, 1.0, static_cast<double>(config.cores));
 
   // --- Detailed + node level, per compute region ---------------------------
   cpusim::RuntimeSim runtime;
@@ -272,7 +357,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
     const apps::Phase& phase = phases[phi];
     const trace::Region& region = region_of(app, phi);
     const DetailedTiming detail =
-        simulate_kernel(phase, config, active_cores);
+        simulate_kernel(app, phi, phase, config, active_cores);
     const cpusim::NodeResult node = runtime.run(
         region, {detail.task},
         {.cores = config.cores,

@@ -26,12 +26,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "apps/apps.hpp"
 #include "core/config_space.hpp"
+#include "core/stage_memo.hpp"
 #include "cpusim/runtime.hpp"
 #include "dramsim/dram.hpp"
 #include "isa/instr.hpp"
@@ -101,9 +103,21 @@ struct PipelineOptions {
   std::uint64_t seed = 1;
 };
 
+/// Fingerprint of every option a memoized stage value depends on (seed,
+/// slice sizes, cache scale, bandwidth efficiency — the network config only
+/// affects the replay stage, which is never memoized). A StageMemo carries
+/// the fingerprint it was built for and Pipeline refuses a mismatch.
+std::uint64_t pipeline_options_fingerprint(const PipelineOptions& options);
+
 class Pipeline {
  public:
-  explicit Pipeline(PipelineOptions options = {});
+  /// With a `memo`, the redundant stages (burst pre-pass, kernel stream
+  /// generation, cache warm-up state, perfect-memory run, region/trace
+  /// building) are shared across every Pipeline attached to the same memo
+  /// — bit-identical results, see stage_memo.hpp. Without one, every
+  /// stage recomputes per point exactly as before (`run_dse --no-memo`).
+  explicit Pipeline(PipelineOptions options = {},
+                    std::shared_ptr<StageMemo> memo = nullptr);
 
   /// Full multiscale simulation of one design point.
   SimResult run(const apps::AppModel& app, const MachineConfig& config);
@@ -115,6 +129,9 @@ class Pipeline {
                         netsim::ReplayResult* replay_out = nullptr);
 
   const PipelineOptions& options() const { return options_; }
+
+  /// The attached stage memo (null when memoization is off).
+  const std::shared_ptr<StageMemo>& memo() const { return memo_; }
 
   /// Cumulative per-stage wall time of every run() on this instance.
   const StageTimes& stage_times() const { return stage_times_; }
@@ -134,7 +151,9 @@ class Pipeline {
     dramsim::DramCounters dram_per_minstr;  // commands per 1e6 instrs
   };
 
-  DetailedTiming simulate_kernel(const apps::Phase& phase,
+  DetailedTiming simulate_kernel(const apps::AppModel& app,
+                                 std::size_t phase_index,
+                                 const apps::Phase& phase,
                                  const MachineConfig& config,
                                  double active_cores);
 
@@ -143,9 +162,12 @@ class Pipeline {
   const trace::AppTrace& trace_of(const apps::AppModel& app, int ranks);
 
   PipelineOptions options_;
+  std::shared_ptr<StageMemo> memo_;
   StageTimes stage_times_;
-  std::unordered_map<std::string, trace::Region> regions_;
-  std::unordered_map<std::string, trace::AppTrace> traces_;
+  // Private per-instance caches used when no shared memo is attached,
+  // keyed by (app fingerprint, phase/ranks) — no string building per call.
+  std::unordered_map<MemoKey, trace::Region, MemoKeyHash> regions_;
+  std::unordered_map<MemoKey, trace::AppTrace, MemoKeyHash> traces_;
 };
 
 }  // namespace musa::core

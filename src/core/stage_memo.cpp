@@ -1,0 +1,49 @@
+#include "core/stage_memo.hpp"
+
+#include <cstring>
+
+namespace musa::core {
+
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::uint64_t app_fingerprint(const apps::AppModel& app) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(&app);
+  return fnv1a_bytes(app.name.data(), app.name.size(),
+                     0xcbf29ce484222325ull ^ static_cast<std::uint64_t>(addr));
+}
+
+namespace {
+std::uint64_t mix_cache(const cachesim::CacheConfig& c, std::uint64_t h) {
+  h = fnv1a_bytes(&c.size_bytes, sizeof(c.size_bytes), h);
+  h = fnv1a_bytes(&c.ways, sizeof(c.ways), h);
+  h = fnv1a_bytes(&c.latency_cycles, sizeof(c.latency_cycles), h);
+  return h;
+}
+}  // namespace
+
+std::uint64_t hierarchy_fingerprint(const cachesim::HierarchyConfig& c) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  h = mix_cache(c.l1, h);
+  h = mix_cache(c.l2, h);
+  h = mix_cache(c.l3, h);
+  h = fnv1a_bytes(&c.num_cores, sizeof(c.num_cores), h);
+  return h;
+}
+
+std::uint64_t core_fingerprint(const cpusim::CoreConfig& c) {
+  std::uint64_t h = fnv1a_bytes(c.label.data(), c.label.size());
+  const int fields[] = {c.rob,  c.issue_width, c.store_buffer, c.alus,
+                        c.fpus, c.lsus,        c.irf,          c.frf};
+  return fnv1a_bytes(fields, sizeof(fields), h);
+}
+
+}  // namespace musa::core

@@ -1,0 +1,263 @@
+// Cross-point memoization of redundant pipeline stages.
+//
+// The 864-configuration sweep recomputes, at every point, work whose inputs
+// only span a handful of distinct values (DESIGN.md "Stage memoization"):
+//
+//   * region / burst-trace generation   — keyed (app, phase) / (app, ranks);
+//   * the burst pre-pass concurrency    — keyed (app, cores): 3 values/app;
+//   * the materialized kernel stream    — keyed (app, phase): the
+//     KernelSource is deterministic in (profile, budget, seed), none of
+//     which vary across machine configurations;
+//   * the post-warm-up cache state      — keyed (app, phase, exact scaled
+//     hierarchy geometry): the functional warm-up touches the hierarchy
+//     with a fixed address stream, so its end state is a pure function of
+//     the cache geometry (12 distinct states per app-phase, not 864);
+//   * the perfect-memory CPI            — keyed (app, phase, core preset,
+//     vector width): perfect memory never consults caches or DRAM, so
+//     frequency / memory-technology / channel dimensions cancel out.
+//
+// Every memoized value is the bit-exact result the non-memoized path would
+// compute (same constructors, same seeds, same arithmetic), which is what
+// makes the memoized sweep's dse_cache.csv byte-identical — the property
+// test_stage_memo locks in and `run_dse --no-memo` exists to bisect.
+//
+// Thread safety: one StageMemo is shared by every sweep worker. Each table
+// has its own shared_mutex (read-mostly: taken shared on the hit path).
+// Misses compute *outside* any lock — results are deterministic, so when
+// two workers race to fill the same key the loser discards an identical
+// value (try_emplace, first wins) — and std::unordered_map never moves
+// node storage, so returned references stay valid while others insert.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "cachesim/hierarchy.hpp"
+#include "cpusim/core_config.hpp"
+#include "isa/instr.hpp"
+
+namespace musa::core {
+
+/// 128-bit memo key: an application fingerprint plus a stage-specific tag
+/// (phase index, rank count, or a hash of the stage's remaining inputs).
+struct MemoKey {
+  std::uint64_t app = 0;
+  std::uint64_t tag = 0;
+  bool operator==(const MemoKey&) const = default;
+};
+
+struct MemoKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(const MemoKey& k) const noexcept {
+    // splitmix-style finalizer over the two halves.
+    std::uint64_t h = k.app ^ (k.tag * 0x9e3779b97f4a7c15ull);
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// FNV-1a over raw bytes; the building block of every fingerprint.
+std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
+                          std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// Identity of an AppModel for memo keys: the registry apps are distinct
+/// stable objects, so the address alone would do; the name hash guards the
+/// stack-allocated apps tests build (same address reused, different app).
+std::uint64_t app_fingerprint(const apps::AppModel& app);
+
+/// Exact numeric content of a scaled hierarchy configuration.
+std::uint64_t hierarchy_fingerprint(const cachesim::HierarchyConfig& c);
+
+/// Exact numeric content of a core preset (label included).
+std::uint64_t core_fingerprint(const cpusim::CoreConfig& c);
+
+/// Per-table hit/miss counts, snapshot for reporting. A "miss" is a compute;
+/// racing workers may both count a miss for one key (the loser's value is
+/// discarded), so hits + misses >= lookups is the only invariant.
+struct MemoStats {
+  std::uint64_t region_hits = 0, region_misses = 0;
+  std::uint64_t trace_hits = 0, trace_misses = 0;
+  std::uint64_t burst_hits = 0, burst_misses = 0;
+  std::uint64_t stream_hits = 0, stream_misses = 0;
+  std::uint64_t warm_hits = 0, warm_misses = 0;
+  std::uint64_t perfect_hits = 0, perfect_misses = 0;
+
+  std::uint64_t total_hits() const {
+    return region_hits + trace_hits + burst_hits + stream_hits + warm_hits +
+           perfect_hits;
+  }
+  std::uint64_t total_misses() const {
+    return region_misses + trace_misses + burst_misses + stream_misses +
+           warm_misses + perfect_misses;
+  }
+  static double rate(std::uint64_t hits, std::uint64_t misses) {
+    const std::uint64_t n = hits + misses;
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class StageMemo {
+ public:
+  /// The kernel streams a (app, phase) pair ever needs: the warm+measure
+  /// stream and the quarter-slice perfect-memory stream. Both are drained
+  /// from KernelSources built with the same arguments the non-memoized
+  /// path uses, so replaying them through SpanSource is bit-identical.
+  struct KernelStreams {
+    std::vector<isa::Instr> full;
+    std::vector<isa::Instr> perfect;
+  };
+
+  /// `options_fingerprint` identifies the PipelineOptions every user of
+  /// this memo must share (seed, slice sizes, cache scale — see
+  /// pipeline_options_fingerprint in pipeline.hpp); Pipeline refuses to
+  /// attach a memo built for different options.
+  explicit StageMemo(std::uint64_t options_fingerprint)
+      : options_fp_(options_fingerprint) {}
+
+  std::uint64_t options_fingerprint() const { return options_fp_; }
+
+  MemoStats stats() const {
+    MemoStats s;
+    s.region_hits = region_hits_.load(std::memory_order_relaxed);
+    s.region_misses = region_misses_.load(std::memory_order_relaxed);
+    s.trace_hits = trace_hits_.load(std::memory_order_relaxed);
+    s.trace_misses = trace_misses_.load(std::memory_order_relaxed);
+    s.burst_hits = burst_hits_.load(std::memory_order_relaxed);
+    s.burst_misses = burst_misses_.load(std::memory_order_relaxed);
+    s.stream_hits = stream_hits_.load(std::memory_order_relaxed);
+    s.stream_misses = stream_misses_.load(std::memory_order_relaxed);
+    s.warm_hits = warm_hits_.load(std::memory_order_relaxed);
+    s.warm_misses = warm_misses_.load(std::memory_order_relaxed);
+    s.perfect_hits = perfect_hits_.load(std::memory_order_relaxed);
+    s.perfect_misses = perfect_misses_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  template <typename Fn>
+  const trace::Region& region(const apps::AppModel& app, std::size_t phase,
+                              Fn&& compute) {
+    return lookup(regions_mu_, regions_,
+                  MemoKey{app_fingerprint(app), phase}, region_hits_,
+                  region_misses_, std::forward<Fn>(compute));
+  }
+
+  template <typename Fn>
+  const trace::AppTrace& trace(const apps::AppModel& app, int ranks,
+                               Fn&& compute) {
+    return lookup(traces_mu_, traces_,
+                  MemoKey{app_fingerprint(app),
+                          static_cast<std::uint64_t>(ranks)},
+                  trace_hits_, trace_misses_, std::forward<Fn>(compute));
+  }
+
+  /// Average concurrency of the burst pre-pass (drives the L3 share).
+  template <typename Fn>
+  double burst_concurrency(const apps::AppModel& app, int cores,
+                           Fn&& compute) {
+    return lookup(burst_mu_, burst_,
+                  MemoKey{app_fingerprint(app),
+                          static_cast<std::uint64_t>(cores)},
+                  burst_hits_, burst_misses_, std::forward<Fn>(compute));
+  }
+
+  template <typename Fn>
+  const KernelStreams& streams(const apps::AppModel& app, std::size_t phase,
+                               Fn&& compute) {
+    return lookup(streams_mu_, streams_,
+                  MemoKey{app_fingerprint(app), phase}, stream_hits_,
+                  stream_misses_, std::forward<Fn>(compute));
+  }
+
+  /// CPI of the perfect-memory run (stall attribution baseline).
+  template <typename Fn>
+  double perfect_cpi(const apps::AppModel& app, std::size_t phase,
+                     const cpusim::CoreConfig& core, int vector_bits,
+                     Fn&& compute) {
+    std::uint64_t tag = core_fingerprint(core);
+    tag = fnv1a_bytes(&phase, sizeof(phase), tag);
+    tag = fnv1a_bytes(&vector_bits, sizeof(vector_bits), tag);
+    return lookup(perfect_mu_, perfect_,
+                  MemoKey{app_fingerprint(app), tag}, perfect_hits_,
+                  perfect_misses_, std::forward<Fn>(compute));
+  }
+
+  /// Key for the post-warm-up hierarchy snapshot: app, phase and the exact
+  /// scaled cache geometry (which already folds in the active-core L3
+  /// share, itself a function of (app, cores)).
+  static MemoKey warm_key(const apps::AppModel& app, std::size_t phase,
+                          const cachesim::HierarchyConfig& caches) {
+    return {app_fingerprint(app),
+            fnv1a_bytes(&phase, sizeof(phase), hierarchy_fingerprint(caches))};
+  }
+
+  /// Snapshot of the hierarchy after functional warm-up + reset_stats, or
+  /// nullptr (counted as a miss — the caller warms and store_warm()s).
+  /// The pointer stays valid while other threads insert: unordered_map
+  /// never relocates node storage.
+  const cachesim::MemHierarchy* find_warm(const MemoKey& key) {
+    {
+      std::shared_lock lock(warm_mu_);
+      auto it = warm_.find(key);
+      if (it != warm_.end()) {
+        warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        return &it->second;
+      }
+    }
+    warm_misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+
+  void store_warm(const MemoKey& key, const cachesim::MemHierarchy& state) {
+    std::unique_lock lock(warm_mu_);
+    warm_.try_emplace(key, state);  // first wins; identical anyway
+  }
+
+ private:
+  template <typename Map, typename Fn>
+  auto& lookup(std::shared_mutex& mu, Map& map, const MemoKey& key,
+               std::atomic<std::uint64_t>& hits,
+               std::atomic<std::uint64_t>& misses, Fn&& compute) {
+    {
+      std::shared_lock lock(mu);
+      auto it = map.find(key);
+      if (it != map.end()) {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses.fetch_add(1, std::memory_order_relaxed);
+    // Deterministic compute outside the lock: a racing loser discards a
+    // bit-identical value, and callbacks that re-enter the memo (the burst
+    // pre-pass builds regions/traces) cannot deadlock.
+    auto value = compute();
+    std::unique_lock lock(mu);
+    return map.try_emplace(key, std::move(value)).first->second;
+  }
+
+  std::uint64_t options_fp_;
+
+  std::shared_mutex regions_mu_, traces_mu_, burst_mu_, streams_mu_,
+      warm_mu_, perfect_mu_;
+  std::unordered_map<MemoKey, trace::Region, MemoKeyHash> regions_;
+  std::unordered_map<MemoKey, trace::AppTrace, MemoKeyHash> traces_;
+  std::unordered_map<MemoKey, double, MemoKeyHash> burst_;
+  std::unordered_map<MemoKey, KernelStreams, MemoKeyHash> streams_;
+  std::unordered_map<MemoKey, cachesim::MemHierarchy, MemoKeyHash> warm_;
+  std::unordered_map<MemoKey, double, MemoKeyHash> perfect_;
+
+  std::atomic<std::uint64_t> region_hits_{0}, region_misses_{0};
+  std::atomic<std::uint64_t> trace_hits_{0}, trace_misses_{0};
+  std::atomic<std::uint64_t> burst_hits_{0}, burst_misses_{0};
+  std::atomic<std::uint64_t> stream_hits_{0}, stream_misses_{0};
+  std::atomic<std::uint64_t> warm_hits_{0}, warm_misses_{0};
+  std::atomic<std::uint64_t> perfect_hits_{0}, perfect_misses_{0};
+};
+
+}  // namespace musa::core

@@ -25,6 +25,40 @@ CoreModel::CoreModel(const CoreConfig& config, Frequency freq,
                  "core needs FUs");
   MUSA_CHECK_MSG(config.irf > 0 && config.frf > 0 && config.store_buffer > 0,
                  "core needs registers and a store buffer");
+  rob_release_.resize(static_cast<std::size_t>(config.rob));
+  irf_release_.resize(static_cast<std::size_t>(config.irf));
+  frf_release_.resize(static_cast<std::size_t>(config.frf));
+  sb_release_.resize(static_cast<std::size_t>(config.store_buffer));
+  alu_pool_.resize(static_cast<std::size_t>(config.alus));
+  fpu_pool_.resize(static_cast<std::size_t>(config.fpus));
+  lsu_pool_.resize(static_cast<std::size_t>(config.lsus));
+}
+
+void CoreModel::Prefetcher::admit(std::uint64_t line, double ready_ns) {
+  Line& entry = inflight.find_or_insert(line);
+  entry.ready_ns = ready_ns;
+  entry.seq = next_seq;
+  fifo.emplace_back(line, next_seq);
+  ++next_seq;
+  // Compact the consumed prefix so fifo never grows unboundedly: every
+  // admit pushes one entry, so live entries are at most kMaxInflight.
+  if (fifo_head > kMaxInflight && fifo_head * 2 > fifo.size()) {
+    fifo.erase(fifo.begin(),
+               fifo.begin() + static_cast<std::ptrdiff_t>(fifo_head));
+    fifo_head = 0;
+  }
+}
+
+std::uint64_t CoreModel::Prefetcher::evict_to_capacity() {
+  std::uint64_t evicted = 0;
+  while (inflight.size() > kMaxInflight && fifo_head < fifo.size()) {
+    const auto [line, seq] = fifo[fifo_head++];
+    const Line* entry = inflight.find(line);
+    if (entry == nullptr || entry->seq != seq) continue;  // already consumed
+    inflight.erase(line);
+    ++evicted;
+  }
+  return evicted;
 }
 
 double CoreModel::fu_acquire(std::vector<double>& pool, double ready,
@@ -65,12 +99,12 @@ double CoreModel::mem_access(const isa::FusedInstr& op, double issue_cycle,
     if (out.dram_read) {
       // Line-fill buffer hit: a prefetch already fetched (or is fetching)
       // this line; pay only the residual time.
-      const auto pf = prefetch_on ? prefetcher_.inflight.find(line)
-                                  : prefetcher_.inflight.end();
-      if (pf != prefetcher_.inflight.end()) {
+      const Prefetcher::Line* pf =
+          prefetch_on ? prefetcher_.inflight.find(line) : nullptr;
+      if (pf != nullptr) {
         lat = std::max<double>(out.latency_cycles,
-                               (pf->second - issue_ns) / period);
-        prefetcher_.inflight.erase(pf);
+                               (pf->ready_ns - issue_ns) / period);
+        prefetcher_.inflight.erase(line);
       } else {
         ++stats.dram_reads;
         const double done_ns =
@@ -82,19 +116,26 @@ double CoreModel::mem_access(const isa::FusedInstr& op, double issue_cycle,
       // Stream detection per 2 MB region; confident streams prefetch the
       // next lines so later demand misses find them in flight.
       if (prefetch_on) {
-        Prefetcher::RegionState& rs = prefetcher_.regions[line >> 15];
+        Prefetcher::RegionState& rs =
+            prefetcher_.regions.find_or_insert(line >> 15);
         rs.confidence = line == rs.last_line + 1 ? rs.confidence + 1 : 0;
         if (line != rs.last_line) rs.last_line = line;
         if (rs.confidence >= Prefetcher::kConfidence) {
           for (int ahead = 1; ahead <= Prefetcher::kDepth; ++ahead) {
             const std::uint64_t next = line + ahead;
-            if (prefetcher_.inflight.count(next)) continue;
+            if (prefetcher_.inflight.contains(next)) continue;
             ++stats.dram_reads;
-            prefetcher_.inflight[next] = dram_.request(
-                issue_ns, next * cachesim::kLineBytes, /*is_write=*/false);
+            prefetcher_.admit(next,
+                              dram_.request(issue_ns,
+                                            next * cachesim::kLineBytes,
+                                            /*is_write=*/false));
           }
-          if (prefetcher_.inflight.size() > 8192)
-            prefetcher_.inflight.clear();
+          // Over capacity the *oldest* in-flight lines fall out of the
+          // line-fill buffer (their DRAM requests were already issued and
+          // paid for; only the latency benefit is lost). The previous
+          // behaviour — dropping the entire buffer — forfeited every
+          // outstanding prefetch at once.
+          stats.pf_evictions += prefetcher_.evict_to_capacity();
         }
       }
     }
@@ -120,19 +161,28 @@ CoreStats CoreModel::run(trace::InstrSource& source,
   const double t0 = options.start_cycle;
   std::array<double, isa::kNumRegs> reg_ready{};
   // Ring buffers of resource release times: an op reusing entry (i mod N)
-  // must wait for that entry's previous owner to release it.
-  std::vector<double> rob_release(config_.rob, t0);
-  std::vector<double> irf_release(config_.irf, t0);
-  std::vector<double> frf_release(config_.frf, t0);
-  std::vector<double> sb_release(config_.store_buffer, t0);
-  std::vector<double> alu_pool(config_.alus, t0);
-  std::vector<double> fpu_pool(config_.fpus, t0);
-  std::vector<double> lsu_pool(config_.lsus, t0);
+  // must wait for that entry's previous owner to release it. The vectors
+  // are member scratch (sized at construction) so repeated run() calls on
+  // the sweep hot path reset them in place instead of reallocating.
+  std::vector<double>& rob_release = rob_release_;
+  std::vector<double>& irf_release = irf_release_;
+  std::vector<double>& frf_release = frf_release_;
+  std::vector<double>& sb_release = sb_release_;
+  std::vector<double>& alu_pool = alu_pool_;
+  std::vector<double>& fpu_pool = fpu_pool_;
+  std::vector<double>& lsu_pool = lsu_pool_;
+  for (auto* v : {&rob_release, &irf_release, &frf_release, &sb_release,
+                  &alu_pool, &fpu_pool, &lsu_pool})
+    std::fill(v->begin(), v->end(), t0);
 
   const double dispatch_step = 1.0 / config_.issue_width;
   double last_dispatch = t0;
   double last_commit = t0;
-  std::uint64_t n = 0, n_int_dst = 0, n_fp_dst = 0, n_store = 0;
+  // Ring positions as wrapping indices: `counter % size` costs an integer
+  // division per op on the sweep hot path, the compare-and-reset does not.
+  const std::size_t rob_n = rob_release.size(), irf_n = irf_release.size(),
+                    frf_n = frf_release.size(), sb_n = sb_release.size();
+  std::size_t rob_i = 0, irf_i = 0, frf_i = 0, sb_i = 0;
 
   isa::FusedInstr op;
   while ((options.max_scalar_instrs == 0 ||
@@ -142,19 +192,18 @@ CoreStats CoreModel::run(trace::InstrSource& source,
     const isa::OpClass cls = op.first.op;
 
     // ---- Dispatch: bandwidth + ROB + RF + SB occupancy ----
-    double dispatch = std::max(last_dispatch + dispatch_step,
-                               rob_release[n % config_.rob]);
+    double dispatch =
+        std::max(last_dispatch + dispatch_step, rob_release[rob_i]);
     const bool has_dst = op.first.dst != isa::kNoReg;
     const bool fp_dst = has_dst && op.first.dst >= isa::kFpRegBase;
     if (has_dst) {
       if (fp_dst)
-        dispatch = std::max(dispatch, frf_release[n_fp_dst % config_.frf]);
+        dispatch = std::max(dispatch, frf_release[frf_i]);
       else
-        dispatch = std::max(dispatch, irf_release[n_int_dst % config_.irf]);
+        dispatch = std::max(dispatch, irf_release[irf_i]);
     }
     if (cls == isa::OpClass::kStore)
-      dispatch =
-          std::max(dispatch, sb_release[n_store % config_.store_buffer]);
+      dispatch = std::max(dispatch, sb_release[sb_i]);
     last_dispatch = dispatch;
 
     // ---- Issue: operand readiness + functional unit ----
@@ -206,20 +255,25 @@ CoreStats CoreModel::run(trace::InstrSource& source,
     const double commit =
         std::max(complete, last_commit + dispatch_step);
     last_commit = commit;
-    rob_release[n % config_.rob] = commit;
+    rob_release[rob_i] = commit;
+    if (++rob_i == rob_n) rob_i = 0;
     if (has_dst) {
       // Physical registers recycle at completion (early release): holding
       // them to commit would double-count the ROB occupancy limit.
-      if (fp_dst)
-        frf_release[n_fp_dst++ % config_.frf] = complete;
-      else
-        irf_release[n_int_dst++ % config_.irf] = complete;
+      if (fp_dst) {
+        frf_release[frf_i] = complete;
+        if (++frf_i == frf_n) frf_i = 0;
+      } else {
+        irf_release[irf_i] = complete;
+        if (++irf_i == irf_n) irf_i = 0;
+      }
     }
-    if (cls == isa::OpClass::kStore)
-      sb_release[n_store++ % config_.store_buffer] = commit + release;
+    if (cls == isa::OpClass::kStore) {
+      sb_release[sb_i] = commit + release;
+      if (++sb_i == sb_n) sb_i = 0;
+    }
 
     // ---- Statistics ----
-    ++n;
     ++stats.fused_ops;
     stats.scalar_instrs += op.lanes;
     const auto ci = static_cast<std::size_t>(cls);

@@ -22,10 +22,10 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "cachesim/hierarchy.hpp"
+#include "common/flat_table.hpp"
 #include "common/units.hpp"
 #include "cpusim/core_config.hpp"
 #include "dramsim/dram.hpp"
@@ -51,6 +51,10 @@ struct CoreStats {
   std::uint64_t l2_accesses = 0, l2_misses = 0;
   std::uint64_t l3_accesses = 0, l3_misses = 0;
   std::uint64_t dram_reads = 0, dram_writes = 0;
+  /// Prefetched lines dropped from the line-fill buffer because it filled
+  /// up before a demand access consumed them (their DRAM bandwidth was
+  /// already paid; only the latency benefit is forfeited).
+  std::uint64_t pf_evictions = 0;
   dramsim::DramCounters dram;
 
   double ipc() const { return cycles > 0 ? scalar_instrs / cycles : 0.0; }
@@ -117,12 +121,32 @@ class CoreModel {
   struct Prefetcher {
     static constexpr int kDepth = 4;        // lines fetched ahead
     static constexpr int kConfidence = 2;   // +1 steps before streaming
+    static constexpr std::size_t kMaxInflight = 8192;  // line-fill capacity
     struct RegionState {
       std::uint64_t last_line = 0;
       int confidence = 0;
     };
-    std::unordered_map<std::uint64_t, RegionState> regions;
-    std::unordered_map<std::uint64_t, double> inflight;  // line -> ready_ns
+    struct Line {
+      double ready_ns = 0.0;
+      std::uint64_t seq = 0;  // insertion order, for exact FIFO eviction
+    };
+    // Both tables sit on the per-miss path: open-addressed flat storage
+    // (one cache line per probe, no per-insert allocation) instead of
+    // std::unordered_map node soup.
+    FlatTable64<RegionState> regions{1024};
+    FlatTable64<Line> inflight{kMaxInflight};  // line -> Line
+    // Insertion-order queue of (line, seq) used to find the oldest entry
+    // when the buffer overflows. Entries whose seq no longer matches the
+    // table (consumed and re-prefetched lines) are skipped as stale.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> fifo;
+    std::size_t fifo_head = 0;
+    std::uint64_t next_seq = 0;
+
+    /// Record `line` as in flight (ready at `ready_ns`).
+    void admit(std::uint64_t line, double ready_ns);
+    /// Drop oldest entries until at most kMaxInflight remain; returns how
+    /// many live lines were evicted.
+    std::uint64_t evict_to_capacity();
   };
 
   double fu_acquire(std::vector<double>& pool, double ready, double busy);
@@ -137,6 +161,12 @@ class CoreModel {
   int core_id_;
   Prefetcher prefetcher_;
   bool prefetch_enabled_ = true;
+
+  // Per-run ring buffers, sized once at construction and reset (not
+  // reallocated) at every run() — run() is called per phase per point, so
+  // these were seven heap allocations on the sweep's hot path.
+  std::vector<double> rob_release_, irf_release_, frf_release_, sb_release_;
+  std::vector<double> alu_pool_, fpu_pool_, lsu_pool_;
 };
 
 }  // namespace musa::cpusim

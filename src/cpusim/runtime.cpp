@@ -14,16 +14,28 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
   const auto& tasks = region.tasks;
   const std::size_t n = tasks.size();
 
-  // Dependency bookkeeping.
+  // Dependency bookkeeping. The dependents adjacency is laid out CSR-style
+  // (one offsets array + one flat edge array): schedule() runs once per
+  // design point on the sweep hot path, where a vector-of-vectors costs an
+  // allocation per task.
   std::vector<int> indegree(n, 0);
-  std::vector<std::vector<std::int32_t>> dependents(n);
+  std::vector<std::int32_t> dep_offset(n + 1, 0);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::int32_t d : tasks[i].deps) {
       MUSA_CHECK_MSG(d >= 0 && static_cast<std::size_t>(d) < i,
                      "task dependency must reference an earlier task");
       ++indegree[i];
-      dependents[d].push_back(static_cast<std::int32_t>(i));
+      ++dep_offset[d + 1];
     }
+  }
+  for (std::size_t i = 0; i < n; ++i) dep_offset[i + 1] += dep_offset[i];
+  std::vector<std::int32_t> dep_list(dep_offset[n]);
+  {
+    std::vector<std::int32_t> cursor(dep_offset.begin(),
+                                     dep_offset.end() - 1);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::int32_t d : tasks[i].deps)
+        dep_list[cursor[d]++] = static_cast<std::int32_t>(i);
   }
 
   // Ready tasks ordered by readiness time, then by the configured policy
@@ -45,7 +57,13 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
   for (std::size_t i = 0; i < n; ++i)
     if (indegree[i] == 0) push_ready(0.0, static_cast<std::int32_t>(i));
 
-  std::vector<double> core_free(config.cores, 0.0);
+  // Earliest-free core as a min-heap keyed (free_time, core): pops the
+  // smallest free time, ties broken by the lowest core index — exactly the
+  // first-minimum a linear scan would pick, at O(log cores) per task.
+  std::priority_queue<std::pair<double, int>,
+                      std::vector<std::pair<double, int>>, std::greater<>>
+      core_heap;
+  for (int c = 0; c < config.cores; ++c) core_heap.emplace(0.0, c);
   std::vector<double> done(n, 0.0);
   double sched_free = 0.0;  // serialized dispatch stage of the runtime
   double lock_free = 0.0;   // global lock for `critical` tasks
@@ -60,13 +78,11 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
     ready.pop();
 
     // Earliest-free core executes the task.
-    const auto core = static_cast<int>(
-        std::min_element(core_free.begin(), core_free.end()) -
-        core_free.begin());
+    const auto [core_at, core] = core_heap.top();
+    core_heap.pop();
 
     // The runtime's dispatch stage is a serial software resource.
-    const double dispatch_at =
-        std::max({task_ready, core_free[core], sched_free});
+    const double dispatch_at = std::max({task_ready, core_at, sched_free});
     sched_free = dispatch_at + config.dispatch_overhead_s;
 
     double start = sched_free;
@@ -74,7 +90,7 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
     const double end = start + durations[idx];
     if (tasks[idx].critical) lock_free = end;
 
-    core_free[core] = end;
+    core_heap.emplace(end, core);
     done[idx] = end;
     ++completed;
     result.busy_seconds += durations[idx];
@@ -83,7 +99,8 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
          .task_type = tasks[idx].type});
     result.seconds = std::max(result.seconds, end);
 
-    for (std::int32_t dep : dependents[idx]) {
+    for (std::int32_t e = dep_offset[idx]; e < dep_offset[idx + 1]; ++e) {
+      const std::int32_t dep = dep_list[e];
       if (--indegree[dep] == 0) {
         // Ready when the latest dependency finished.
         double at = 0.0;

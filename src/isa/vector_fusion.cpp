@@ -17,6 +17,21 @@ VectorFusion::VectorFusion(trace::InstrSource& source, int vector_bits,
   if (max_fusion_distance > 0) max_distance_ = max_fusion_distance;
 }
 
+VectorFusion::Group* VectorFusion::group_of(std::uint32_t static_id,
+                                            bool insert) {
+  if (static_id < kDirectIds) {
+    if (static_id >= groups_.size()) {
+      if (!insert) return nullptr;
+      groups_.resize(static_id + 1);
+    }
+    Group* g = &groups_[static_id];
+    if (!insert && g->count == 0) return nullptr;
+    return g;
+  }
+  return insert ? &overflow_.find_or_insert(static_id)
+                : overflow_.find(static_id);
+}
+
 void VectorFusion::emit_group(const Group& g, FusedInstr& out) {
   out.first = g.first;
   out.lanes = g.count;
@@ -26,60 +41,124 @@ void VectorFusion::emit_group(const Group& g, FusedInstr& out) {
   if (g.count == target_lanes_ && target_lanes_ > 1) ++stats_.full_groups;
 }
 
-bool VectorFusion::flush_one(FusedInstr& out, bool only_stale) {
-  for (auto it = groups_.begin(); it != groups_.end(); ++it) {
-    if (only_stale &&
-        stats_.in_instrs - it->second.started_at <= max_distance_)
-      continue;
-    emit_group(it->second, out);
-    if (it->second.count < target_lanes_) ++stats_.partial_flushes;
-    groups_.erase(it);
-    return true;
+void VectorFusion::refresh_front_deadline() {
+  if (active_.empty()) {
+    front_deadline_ = ~0ull;
+  } else {
+    const Group* g = group_of(active_.front(), /*insert=*/false);
+    front_deadline_ = g->started_at + max_distance_;
   }
-  return false;
+}
+
+void VectorFusion::close_group(std::uint32_t static_id, bool partial) {
+  if (partial) ++stats_.partial_flushes;
+  if (static_id < kDirectIds)
+    groups_[static_id].count = 0;
+  else
+    overflow_.erase(static_id);
+  // Closures overwhelmingly hit the front (stale flushes always do; full
+  // groups fill in opening order for regular loop bodies), so the scan is
+  // effectively O(1) and active_ stays a handful of entries deep.
+  for (std::size_t i = 0; i < active_.size(); ++i)
+    if (active_[i] == static_id) {
+      active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+      if (i == 0) refresh_front_deadline();
+      return;
+    }
+}
+
+void VectorFusion::flush_stale() {
+  // Groups older than the fusion window flush partial — the loop's run
+  // ended before the group filled. active_ is ordered by opening time
+  // (started_at is monotone), so only the front can be stale; close_group
+  // advances front_deadline_ as fronts retire.
+  while (stats_.in_instrs > front_deadline_) {
+    const std::uint32_t id = active_.front();
+    const Group* g = group_of(id, /*insert=*/false);
+    FusedInstr stale;
+    emit_group(*g, stale);
+    close_group(id, /*partial=*/g->count < target_lanes_);
+    push_ready(stale);
+  }
+}
+
+void VectorFusion::push_ready(const FusedInstr& f) { ready_.push_back(f); }
+
+bool VectorFusion::pop_ready(FusedInstr& out) {
+  if (ready_head_ >= ready_.size()) return false;
+  out = ready_[ready_head_++];
+  if (ready_head_ >= ready_.size()) {
+    ready_.clear();
+    ready_head_ = 0;
+  }
+  return true;
+}
+
+const Instr* VectorFusion::pull() {
+  if (block_pos_ < block_len_) return &block_[block_pos_++];
+  block_len_ = source_.take_block(&block_);
+  if (block_len_ > 0) {
+    block_pos_ = 1;
+    return &block_[0];
+  }
+  return source_.next(scratch_) ? &scratch_ : nullptr;
 }
 
 bool VectorFusion::next(FusedInstr& out) {
   while (true) {
     // Emit anything already produced, preserving completion order.
-    if (!ready_.empty()) {
-      out = ready_.front();
-      ready_.erase(ready_.begin());
+    if (pop_ready(out)) return true;
+
+    const Instr* pulled = source_done_ ? nullptr : pull();
+    if (pulled == nullptr) {
+      // End of stream: drain remaining partial groups, oldest first.
+      source_done_ = true;
+      if (active_.empty()) return false;
+      const std::uint32_t id = active_.front();
+      const Group* g = group_of(id, /*insert=*/false);
+      emit_group(*g, out);
+      close_group(id, /*partial=*/g->count < target_lanes_);
       return true;
     }
-
-    isa::Instr in;
-    if (source_done_ || !source_.next(in)) {
-      // End of stream: drain remaining partial groups.
-      source_done_ = true;
-      return flush_one(out, /*only_stale=*/false);
-    }
+    const Instr& in = *pulled;
     ++stats_.in_instrs;
 
-    // Groups older than the fusion window flush partial — the loop's run
-    // ended before the group filled. Distance ticks on *every* consumed
-    // instruction, vectorizable or not.
-    FusedInstr stale;
-    while (flush_one(stale, /*only_stale=*/true)) ready_.push_back(stale);
+    // Distance ticks on *every* consumed instruction, vectorizable or not.
+    // The deadline gate keeps the flush machinery out of line of the common
+    // case (front_deadline_ is UINT64_MAX when nothing is open).
+    if (stats_.in_instrs > front_deadline_) flush_stale();
 
     if (!in.vectorizable || target_lanes_ <= 1) {
+      ++stats_.out_instrs;
+      if (ready_empty()) {
+        // Stale flushes "completed" before this instruction, so it can only
+        // short-circuit past ready_ when nothing is queued there. That is
+        // the overwhelmingly common case, and it writes the emitted op once
+        // instead of round-tripping two copies through push/pop_ready.
+        out.first = in;
+        out.lanes = 1;
+        out.stride = 0;
+        out.bytes = is_mem(in.op) ? in.size : 0;
+        return true;
+      }
       FusedInstr scalar;
       scalar.first = in;
       scalar.lanes = 1;
       scalar.stride = 0;
       scalar.bytes = is_mem(in.op) ? in.size : 0;
-      ++stats_.out_instrs;
-      ready_.push_back(scalar);
+      push_ready(scalar);
       continue;
     }
 
-    auto [it, inserted] = groups_.try_emplace(in.static_id);
-    Group& g = it->second;
-    if (inserted) {
+    Group& g = *group_of(in.static_id, /*insert=*/true);
+    if (g.count == 0) {
       g.first = in;
       g.count = 1;
+      g.stride = 0;
       g.bytes = in.size;
       g.started_at = stats_.in_instrs;
+      if (active_.empty()) front_deadline_ = g.started_at + max_distance_;
+      active_.push_back(in.static_id);
     } else {
       if (g.count == 1)
         g.stride = static_cast<std::int64_t>(in.addr) -
@@ -91,8 +170,12 @@ bool VectorFusion::next(FusedInstr& out) {
     if (g.count >= target_lanes_) {
       FusedInstr full;
       emit_group(g, full);
-      groups_.erase(it);
-      ready_.push_back(full);
+      close_group(in.static_id, /*partial=*/false);
+      if (ready_empty()) {
+        out = full;
+        return true;
+      }
+      push_ready(full);
     }
   }
 }

@@ -20,9 +20,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_table.hpp"
 #include "isa/instr.hpp"
 
 namespace musa::trace {
@@ -70,20 +70,51 @@ class VectorFusion {
  private:
   struct Group {
     Instr first;
-    std::uint16_t count = 0;
+    std::uint16_t count = 0;  // 0 = slot closed (no open group for this id)
     std::int64_t stride = 0;
     std::uint32_t bytes = 0;
     std::uint64_t started_at = 0;  // in_instrs when the group opened
   };
 
+  /// Slot for `static_id`: direct-indexed for small ids, hashed overflow
+  /// otherwise. With insert=false returns nullptr when no group is open.
+  Group* group_of(std::uint32_t static_id, bool insert);
   void emit_group(const Group& g, FusedInstr& out);
-  bool flush_one(FusedInstr& out, bool only_stale);
+  void close_group(std::uint32_t static_id, bool partial);
+  void push_ready(const FusedInstr& f);
+  bool pop_ready(FusedInstr& out);
+  bool ready_empty() const { return ready_head_ >= ready_.size(); }
+  void flush_stale();
+  void refresh_front_deadline();
+  /// Pulls the next scalar instruction, preferring the bulk block the
+  /// source handed out (no virtual call — and no copy — per instruction on
+  /// replay). Returns nullptr at end of stream; the pointer is valid until
+  /// the next pull.
+  const Instr* pull();
+
+  /// Ids below this index `groups_` directly (one array load per lane).
+  /// All in-tree trace producers emit ids far below it; anything larger
+  /// falls back to `overflow_` so foreign traces still work.
+  static constexpr std::uint32_t kDirectIds = 4096;
 
   trace::InstrSource& source_;
   int target_lanes_;
   std::uint64_t max_distance_ = kMaxFusionDistance;
-  std::unordered_map<std::uint32_t, Group> groups_;
-  std::vector<FusedInstr> ready_;  // completed groups awaiting emission
+  // Hot path: groups are indexed directly by static_id (trace generators
+  // emit small dense ids), and open ids are kept in opening order so the
+  // stale check inspects only the *oldest* group — O(1) per instruction
+  // where the former unordered_map version scanned every bucket.
+  std::vector<Group> groups_;           // slot per static_id; count==0 free
+  FlatTable64<Group> overflow_;         // groups for ids >= kDirectIds
+  std::vector<std::uint32_t> active_;   // open ids, oldest first
+  std::vector<FusedInstr> ready_;       // completed ops awaiting emission
+  std::size_t ready_head_ = 0;          // ready_ front (popped lazily)
+  // in_instrs count past which active_.front() goes stale (UINT64_MAX when
+  // nothing is open): one compare per instruction instead of a group lookup.
+  std::uint64_t front_deadline_ = ~0ull;
+  const Instr* block_ = nullptr;        // bulk run from take_block()
+  std::size_t block_pos_ = 0, block_len_ = 0;
+  Instr scratch_;                       // pull() landing slot for next()
   FusionStats stats_;
   bool source_done_ = false;
 };

@@ -22,6 +22,17 @@ class InstrSource {
 
   /// Rewinds to the beginning of the stream (must replay identically).
   virtual void reset() = 0;
+
+  /// Bulk read: hands out a contiguous run of upcoming instructions and
+  /// marks them consumed, or returns 0 if this source cannot (generators).
+  /// Consumers fall back to next() — behaviour is identical either way;
+  /// in-memory sources just skip the virtual call per instruction, which
+  /// matters on the memoized-sweep replay path (core/stage_memo.hpp) where
+  /// every design point re-walks the same materialized stream.
+  virtual std::size_t take_block(const isa::Instr** out) {
+    *out = nullptr;
+    return 0;
+  }
 };
 
 /// In-memory stream over a fixed instruction vector (tests, small traces).
@@ -38,9 +49,50 @@ class VectorSource final : public InstrSource {
 
   void reset() override { pos_ = 0; }
 
+  std::size_t take_block(const isa::Instr** out) override {
+    const std::size_t n = instrs_.size() - pos_;
+    *out = n > 0 ? instrs_.data() + pos_ : nullptr;
+    pos_ = instrs_.size();
+    return n;
+  }
+
  private:
   std::vector<isa::Instr> instrs_;
   std::size_t pos_ = 0;
+};
+
+/// Stream over a *borrowed* instruction vector, starting at `begin`.
+///
+/// This is how memoized kernel streams replay (core/stage_memo.hpp): the
+/// materialized stream is generated once per (app, phase), and each design
+/// point walks it through a SpanSource. `begin` positions the stream as if
+/// a prefix had already been consumed — the measured run starts where the
+/// functional warm-up left off. The vector must outlive the source.
+class SpanSource final : public InstrSource {
+ public:
+  explicit SpanSource(const std::vector<isa::Instr>& instrs,
+                      std::size_t begin = 0)
+      : instrs_(&instrs), begin_(begin), pos_(begin) {}
+
+  bool next(isa::Instr& out) override {
+    if (pos_ >= instrs_->size()) return false;
+    out = (*instrs_)[pos_++];
+    return true;
+  }
+
+  void reset() override { pos_ = begin_; }
+
+  std::size_t take_block(const isa::Instr** out) override {
+    const std::size_t n = instrs_->size() - pos_;
+    *out = n > 0 ? instrs_->data() + pos_ : nullptr;
+    pos_ = instrs_->size();
+    return n;
+  }
+
+ private:
+  const std::vector<isa::Instr>* instrs_;
+  std::size_t begin_;
+  std::size_t pos_;
 };
 
 }  // namespace musa::trace

@@ -11,8 +11,12 @@
 #include <thread>
 #include <vector>
 
+#include <cstdint>
+#include <unordered_map>
+
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/flat_table.hpp"
 #include "common/parallel.hpp"
 #include "common/progress.hpp"
 #include "common/rng.hpp"
@@ -231,6 +235,101 @@ TEST(Progress, LineReportsRateAndEta) {
   EXPECT_NE(pr.line(100, 20.0).find("ETA 0s"), std::string::npos);
   pr.tick(100);  // disabled reporter stays silent but counts
   EXPECT_EQ(pr.done(), 100u);
+}
+
+TEST(FlatTable64, InsertFindGrow) {
+  FlatTable64<int> t(4);  // force several grows
+  for (std::uint64_t k = 0; k < 1000; ++k) t.insert(k * 11, static_cast<int>(k));
+  EXPECT_EQ(t.size(), 1000u);
+  for (std::uint64_t k = 0; k < 1000; ++k) {
+    const int* v = t.find(k * 11);
+    ASSERT_NE(v, nullptr) << "key " << k * 11;
+    EXPECT_EQ(*v, static_cast<int>(k));
+  }
+  EXPECT_EQ(t.find(7), nullptr);
+  EXPECT_FALSE(t.contains(7));
+}
+
+TEST(FlatTable64, FindOrInsertReturnsStableSlotPerCall) {
+  FlatTable64<int> t;
+  int& a = t.find_or_insert(42);
+  a = 7;
+  EXPECT_EQ(t.find_or_insert(42), 7);  // same slot, not a fresh default
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(FlatTable64, EraseBackwardShiftKeepsProbeChainsIntact) {
+  // Colliding keys probe past each other; erasing one must not break lookup
+  // of the others (the backward-shift must relocate displaced entries).
+  FlatTable64<int> t(8);
+  const std::uint64_t cap = t.capacity();
+  std::vector<std::uint64_t> keys;
+  // Keys engineered to share a home slot: same value after the Fibonacci
+  // hash is infeasible to construct directly, so just use enough keys that
+  // chains form at this small capacity.
+  for (std::uint64_t k = 1; keys.size() < cap / 2; ++k) keys.push_back(k * 97);
+  for (std::uint64_t k : keys) t.insert(k, static_cast<int>(k));
+  // Erase every other key; the rest must stay findable.
+  for (std::size_t i = 0; i < keys.size(); i += 2) EXPECT_TRUE(t.erase(keys[i]));
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const int* v = t.find(keys[i]);
+    if (i % 2 == 0) {
+      EXPECT_EQ(v, nullptr);
+    } else {
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, static_cast<int>(keys[i]));
+    }
+  }
+  EXPECT_FALSE(t.erase(123456789));  // absent key
+}
+
+TEST(FlatTable64, RandomChurnMatchesStdUnorderedMap) {
+  FlatTable64<std::uint64_t> t;
+  std::unordered_map<std::uint64_t, std::uint64_t> ref;
+  Rng rng(1234);
+  for (int step = 0; step < 50000; ++step) {
+    const std::uint64_t key = rng.next_below(512);  // small space → collisions
+    switch (rng.next_below(3)) {
+      case 0: {  // insert/overwrite
+        const std::uint64_t val = rng.next_u64();
+        t.find_or_insert(key) = val;
+        ref[key] = val;
+        break;
+      }
+      case 1:  // erase
+        EXPECT_EQ(t.erase(key), ref.erase(key) > 0);
+        break;
+      default: {  // lookup
+        const std::uint64_t* v = t.find(key);
+        const auto it = ref.find(key);
+        if (it == ref.end()) {
+          EXPECT_EQ(v, nullptr);
+        } else {
+          ASSERT_NE(v, nullptr);
+          EXPECT_EQ(*v, it->second);
+        }
+      }
+    }
+    ASSERT_EQ(t.size(), ref.size());
+  }
+  for (const auto& [k, v] : ref) {
+    const std::uint64_t* got = t.find(k);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(FlatTable64, ClearEmptiesButKeepsCapacity) {
+  FlatTable64<int> t;
+  for (std::uint64_t k = 0; k < 100; ++k) t.insert(k, 1);
+  const std::size_t cap = t.capacity();
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.capacity(), cap);
+  EXPECT_EQ(t.find(5), nullptr);
+  t.insert(5, 2);
+  EXPECT_EQ(*t.find(5), 2);
 }
 
 }  // namespace

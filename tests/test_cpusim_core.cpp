@@ -151,6 +151,30 @@ TEST(CoreModel, PrefetcherHidesStridedMissLatency) {
   EXPECT_LT(seq.cycles, rnd.cycles);
 }
 
+TEST(CoreModel, PrefetcherEvictsOldestInsteadOfClearing) {
+  // Touch thousands of distinct 32 KiB regions with short sequential runs:
+  // each run trains the stride detector and leaves prefetched lines that
+  // are never consumed, so the inflight table overflows its 8192-entry
+  // capacity. The prefetcher must shed the *oldest* entries (counted in
+  // pf_evictions), not wipe the table.
+  std::vector<isa::Instr> instrs;
+  for (int r = 0; r < 4000; ++r) {
+    const std::uint64_t base = static_cast<std::uint64_t>(r) * (2ull << 20);
+    for (int i = 0; i < 4; ++i) {
+      isa::Instr in;
+      in.op = isa::OpClass::kLoad;
+      in.dst = static_cast<std::uint8_t>(isa::kFpRegBase + (i % 12));
+      in.addr = base + static_cast<std::uint64_t>(i) * 64;
+      in.size = 8;
+      instrs.push_back(in);
+    }
+  }
+  TestRig rig;
+  const CoreStats s = run_instrs(instrs, core_medium(), rig);
+  EXPECT_GT(s.pf_evictions, 0u);
+  EXPECT_EQ(s.scalar_instrs, 16000u);
+}
+
 TEST(CoreModel, VectorFusionSpeedsUpMarkedLoops) {
   trace::KernelProfile p;
   p.vec_body = {.loads = 2, .fp_add = 2, .fp_mul = 2, .stores = 1};

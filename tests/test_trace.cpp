@@ -7,6 +7,7 @@
 
 #include "common/check.hpp"
 #include "trace/burst.hpp"
+#include "trace/instr_source.hpp"
 #include "trace/kernel.hpp"
 #include "trace/region.hpp"
 
@@ -172,6 +173,41 @@ TEST(Region, TotalWorkSumsTaskWork) {
   r.tasks.push_back({.type = 0, .work = 1.5});
   r.tasks.push_back({.type = 0, .work = 2.5});
   EXPECT_DOUBLE_EQ(r.total_work(), 4.0);
+}
+
+TEST(SpanSource, ServesSuffixFromBeginAndResetsToBegin) {
+  std::vector<isa::Instr> instrs;
+  KernelSource gen(tiny_profile(), 200);
+  isa::Instr in;
+  while (gen.next(in)) instrs.push_back(in);
+  ASSERT_GE(instrs.size(), 200u);
+
+  // A SpanSource starting at `begin` must replay exactly the tail a full
+  // drain would produce after consuming `begin` instructions — this is what
+  // makes the memoized measured run identical to the plain one.
+  const std::size_t begin = 70;
+  SpanSource span(instrs, begin);
+  for (std::size_t i = begin; i < instrs.size(); ++i) {
+    ASSERT_TRUE(span.next(in));
+    EXPECT_EQ(in.op, instrs[i].op);
+    EXPECT_EQ(in.addr, instrs[i].addr);
+    EXPECT_EQ(in.dst, instrs[i].dst);
+  }
+  EXPECT_FALSE(span.next(in));
+
+  // reset() rewinds to `begin`, not to the vector head.
+  span.reset();
+  ASSERT_TRUE(span.next(in));
+  EXPECT_EQ(in.op, instrs[begin].op);
+  EXPECT_EQ(in.addr, instrs[begin].addr);
+
+  // begin == 0 serves the whole vector; begin past the end is empty.
+  SpanSource whole(instrs);
+  std::size_t n = 0;
+  while (whole.next(in)) ++n;
+  EXPECT_EQ(n, instrs.size());
+  SpanSource past(instrs, instrs.size() + 5);
+  EXPECT_FALSE(past.next(in));
 }
 
 class KernelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
