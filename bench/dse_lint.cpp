@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/journal.hpp"
 #include "fig_common.hpp"
@@ -140,6 +141,25 @@ int lint_journal(const std::string& path, LintStats& stats) {
                   std::to_string(lr.dropped) +
                       " record(s) failed their checksum (crash damage)"}},
                 path.c_str());
+  // Quarantine (FAIL) rows: informational, not violations by themselves —
+  // containment working as designed — but an unknown error class means a
+  // writer/reader version skew and is flagged.
+  if (!lr.fails.empty())
+    std::printf("dse_lint: %s: %zu quarantined point(s)\n", path.c_str(),
+                lr.fails.size());
+  for (const auto& [key, fail] : lr.fails) {
+    ++stats.subjects;
+    const std::string cls = fail.error_class;
+    if (musa::error_class_name(musa::error_class_from_name(cls)) != cls)
+      stats.merge({{"journal.fail-class", key,
+                    "unknown quarantine error class \"" + cls + "\""}},
+                  path.c_str());
+    if (!stats.quiet)
+      std::printf("  FAIL %s: class=%s stage=%s attempts=%d %s\n",
+                  key.c_str(), cls.c_str(),
+                  fail.stage.empty() ? "unknown" : fail.stage.c_str(),
+                  fail.attempts, fail.message.c_str());
+  }
   for (const auto& [key, row] : lr.entries)
     lint_row(row, path + "[" + key + "]", stats);
   return 0;

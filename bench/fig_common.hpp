@@ -24,6 +24,26 @@ inline std::string dse_cache_path() {
   return "dse_cache.csv";
 }
 
+/// The fixed 24-point sub-sweep shared by sweep_bench and `run_dse
+/// --bench`: one app (hydro) across 4 core presets x 3 frequencies x 2
+/// channel counts. Small enough for CI, wide enough to exercise every
+/// pipeline stage — the chaos leg injects faults into exactly this space.
+inline std::vector<core::MachineConfig> bench_space() {
+  std::vector<core::MachineConfig> configs;
+  for (const auto& core : cpusim::core_presets())
+    for (double freq : {1.5, 2.0, 2.5})
+      for (int channels : {4, 8}) {
+        core::MachineConfig c;
+        c.core = core;
+        c.freq_ghz = freq;
+        c.mem_channels = channels;
+        configs.push_back(c);
+      }
+  return configs;
+}
+
+inline const char* bench_app() { return "hydro"; }
+
 /// Prints the paper's three panels for one swept dimension:
 ///   (a) speed-up vs the baseline value (time_base / time),
 ///   (b) power split (Core+L1 / L2+L3 / Memory) normalised to baseline total,

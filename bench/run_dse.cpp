@@ -9,22 +9,48 @@
 //   run_dse --shard 1/2 &        # (run anywhere sharing the cache dir)
 //   wait; run_dse                # merges the journals into the cache
 //
+// Failures are *contained* by default (DESIGN.md "Failure model"): a point
+// that throws is quarantined as a journaled FAIL row and the sweep keeps
+// going; the run then exits 3 with a quarantine report instead of losing
+// the other points. `--strict` restores fail-fast; `--retry-failed` re-runs
+// exactly the quarantined points; `--timeout` arms a per-point watchdog;
+// `--inject` (or MUSA_FAULT) arms the deterministic fault harness.
+//
 // Usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]
-//   --force      discard the cache and all journals, then sweep from scratch
-//   --shard i/N  compute only points with index % N == i (0 <= i < N)
-//   --no-verify  skip config lint and result-invariant enforcement
-//                (src/verify); for performance experiments only —
-//                `dse_lint` can re-check the cache afterwards
-//   --no-memo    disable the shared cross-point stage memo
-//                (core/stage_memo.hpp): every stage recomputes per point.
-//                Results are bit-identical with or without it; use this to
-//                bisect a suspected memo-staleness bug
+//                [--bench] [--strict] [--retry-failed] [--timeout S]
+//                [--inject SPEC]
+//   --force        discard the cache and all journals, then sweep fresh
+//   --shard i/N    compute only points with index % N == i (0 <= i < N)
+//   --no-verify    skip config lint and result-invariant enforcement
+//                  (src/verify); for performance experiments only —
+//                  `dse_lint` can re-check the cache afterwards
+//   --no-memo      disable the shared cross-point stage memo
+//                  (core/stage_memo.hpp): every stage recomputes per point.
+//                  Results are bit-identical with or without it; use this
+//                  to bisect a suspected memo-staleness bug
+//   --bench        sweep the fixed 24-point bench space (hydro x 4 core
+//                  presets x 3 freqs x 2 channel counts) instead of the
+//                  full grid — the chaos-test harness in CI uses this
+//   --strict       fail fast: the first failing point aborts the sweep
+//                  (exit 1) instead of quarantining
+//   --retry-failed re-run points quarantined by a previous run (they are
+//                  otherwise skipped on resume as known-bad)
+//   --timeout S    per-point wall-clock budget in seconds; a runaway point
+//                  quarantines as class `timeout`
+//   --inject SPEC  arm fault injection, SPEC = site:kind:seed:prob[:param]
+//                  [,spec...] (see src/verify/faultpoint.hpp); overrides
+//                  the MUSA_FAULT environment variable
+//
+// Exit codes: 0 success, 1 strict-mode abort, 2 bad usage, 3 sweep
+// completed with quarantined points.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
 
+#include "common/check.hpp"
 #include "common/progress.hpp"
 #include "fig_common.hpp"
+#include "verify/faultpoint.hpp"
 
 namespace {
 
@@ -53,6 +79,9 @@ void print_report(const musa::core::SweepReport& rep) {
     std::printf("  verification: %llu cached row(s) violated result "
                 "invariants; dropped and recomputed\n",
                 static_cast<unsigned long long>(rep.invalid));
+  if (rep.retries > 0)
+    std::printf("  retried %llu transient io-class failure(s)\n",
+                static_cast<unsigned long long>(rep.retries));
   const musa::core::StageTimes& st = rep.stages;
   if (st.points > 0) {
     std::printf("stage breakdown over %llu simulated points "
@@ -87,11 +116,28 @@ void print_report(const musa::core::SweepReport& rep) {
   }
 }
 
+/// The post-sweep quarantine report: every FAIL row, with enough context
+/// (class, stage, attempts, message) to debug the point without rerunning.
+void print_quarantine(const musa::core::SweepReport& rep) {
+  if (rep.quarantined == 0) return;
+  std::printf("QUARANTINED: %llu point(s) failed and were contained:\n",
+              static_cast<unsigned long long>(rep.quarantined));
+  for (const auto& q : rep.quarantine)
+    std::printf("  %-28s class=%-9s stage=%-7s attempts=%d  %s\n",
+                q.key.c_str(), q.error_class.c_str(),
+                q.stage.empty() ? "unknown" : q.stage.c_str(), q.attempts,
+                q.message.c_str());
+  std::printf("fix the cause (or clear the fault) and rerun with "
+              "--retry-failed to recompute exactly these points\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace musa;
   bool force = false;
+  bool bench_sweep = false;
+  const char* inject_spec = nullptr;
   core::SweepOptions opts;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--force") == 0) {
@@ -100,6 +146,20 @@ int main(int argc, char** argv) {
       opts.verify = false;
     } else if (std::strcmp(argv[a], "--no-memo") == 0) {
       opts.memoize = false;
+    } else if (std::strcmp(argv[a], "--bench") == 0) {
+      bench_sweep = true;
+    } else if (std::strcmp(argv[a], "--strict") == 0) {
+      opts.fail_fast = true;
+    } else if (std::strcmp(argv[a], "--retry-failed") == 0) {
+      opts.retry_failed = true;
+    } else if (std::strcmp(argv[a], "--timeout") == 0 && a + 1 < argc) {
+      opts.point_timeout_s = std::atof(argv[++a]);
+      if (opts.point_timeout_s <= 0.0) {
+        std::fprintf(stderr, "bad --timeout (want seconds > 0)\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[a], "--inject") == 0 && a + 1 < argc) {
+      inject_spec = argv[++a];
     } else if (std::strcmp(argv[a], "--shard") == 0 && a + 1 < argc) {
       if (!parse_shard(argv[++a], &opts)) {
         std::fprintf(stderr, "bad --shard spec (want i/N with 0 <= i < N)\n");
@@ -108,9 +168,27 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: run_dse [--force] [--shard i/N] [--no-verify] "
-                   "[--no-memo]\n");
+                   "[--no-memo] [--bench] [--strict] [--retry-failed] "
+                   "[--timeout S] [--inject SPEC]\n");
       return 2;
     }
+  }
+
+  try {
+    verify::FaultPlan plan = inject_spec != nullptr
+                                 ? verify::FaultPlan::parse(inject_spec)
+                                 : verify::FaultPlan::from_env();
+    if (!plan.empty())
+      std::printf("fault injection ARMED: %s\n", plan.str().c_str());
+    verify::FaultPlan::install(std::move(plan));
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "bad fault spec: %s\n", e.what());
+    return 2;
+  }
+
+  if (bench_sweep) {
+    opts.apps = {bench::bench_app()};
+    opts.configs = bench::bench_space();
   }
 
   core::Pipeline pipeline;
@@ -122,16 +200,30 @@ int main(int argc, char** argv) {
   }
   core::DseEngine dse(pipeline, bench::dse_cache_path(), opts);
 
-  std::printf("MUSA-DSE full sweep (864 configs x 5 apps = 4320 points)\n");
+  if (bench_sweep)
+    std::printf("MUSA-DSE bench sweep (24 configs x 1 app = 24 points)\n");
+  else
+    std::printf("MUSA-DSE full sweep (864 configs x 5 apps = 4320 points)\n");
   std::printf("cache file: %s\n", bench::dse_cache_path().c_str());
   if (opts.shard_count > 1)
     std::printf("shard %d of %d\n", opts.shard_index, opts.shard_count);
+  if (opts.point_timeout_s > 0.0)
+    std::printf("per-point watchdog: %.3gs\n", opts.point_timeout_s);
   if (!opts.verify)
     std::printf("verification DISABLED (--no-verify): configs and results "
                 "will not be checked; lint the cache with dse_lint later\n");
 
-  const core::SweepReport rep = dse.sweep(force);
+  core::SweepReport rep;
+  try {
+    rep = dse.sweep(force);
+  } catch (const SimError& e) {
+    std::fprintf(stderr, "sweep aborted%s: %s\n",
+                 opts.fail_fast ? " (--strict)" : "", e.what());
+    return 1;
+  }
   print_report(rep);
+  print_quarantine(rep);
+  if (rep.quarantined > 0) return 3;
   if (!rep.finalized) {
     std::printf("shard journal written; rerun (any shard spec, or none) "
                 "once every shard has finished to merge the cache\n");
@@ -152,6 +244,7 @@ int main(int argc, char** argv) {
       tmin = std::min(tmin, r.wall_seconds);
       tmax = std::max(tmax, r.wall_seconds);
     }
+    if (n == 0) continue;  // app not in this plan (--bench sweeps one app)
     std::printf("  %-8s %4d points, wall time %8.2f .. %8.2f ms\n",
                 app.name.c_str(), n, tmin * 1e3, tmax * 1e3);
   }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/dse.hpp"
+#include "fig_common.hpp"
 
 namespace {
 
@@ -29,20 +30,6 @@ using musa::core::Pipeline;
 using musa::core::StageTimes;
 using musa::core::SweepOptions;
 using musa::core::SweepReport;
-
-std::vector<MachineConfig> bench_space() {
-  std::vector<MachineConfig> configs;
-  for (const auto& core : musa::cpusim::core_presets())
-    for (double freq : {1.5, 2.0, 2.5})
-      for (int channels : {4, 8}) {
-        MachineConfig c;
-        c.core = core;
-        c.freq_ghz = freq;
-        c.mem_channels = channels;
-        configs.push_back(c);
-      }
-  return configs;
-}
 
 struct Run {
   double wall_s = 0.0;
@@ -59,8 +46,8 @@ Run run_sweep(bool memoize) {
   SweepOptions opts;
   opts.verbose = false;
   opts.memoize = memoize;
-  opts.apps = {"hydro"};
-  opts.configs = bench_space();
+  opts.apps = {musa::bench::bench_app()};
+  opts.configs = musa::bench::bench_space();
 
   Run r;
   for (int rep = 0; rep < kReps; ++rep) {

@@ -1,0 +1,50 @@
+#include "common/deadline.hpp"
+
+#include <cstdio>
+#include <string>
+
+namespace musa::deadline {
+
+thread_local TlState tl_state;
+
+void check_now() {
+  TlState& s = tl_state;
+  if (!s.active) return;
+  if (std::chrono::steady_clock::now() <= s.limit) return;
+  char msg[160];
+  std::snprintf(msg, sizeof msg,
+                "point exceeded its %.3gs wall-clock budget (stage: %s)",
+                s.budget_s, s.stage[0] != '\0' ? s.stage : "unknown");
+  throw SimError(msg, ErrorClass::kTimeout, s.stage);
+}
+
+bool expired() {
+  const TlState& s = tl_state;
+  return s.active && std::chrono::steady_clock::now() > s.limit;
+}
+
+Scope::Scope(double budget_s) : saved_(tl_state) {
+  if (budget_s <= 0.0) return;
+  const auto limit = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(budget_s));
+  TlState& s = tl_state;
+  // Tighten-only nesting: an inner scope cannot outlive the outer budget.
+  if (!s.active || limit < s.limit) {
+    s.limit = limit;
+    s.budget_s = budget_s;
+  }
+  s.active = true;
+  s.tick = 0;
+}
+
+Scope::~Scope() {
+  // Restore the outer deadline but keep the current stage marker: stages
+  // are orthogonal to budgets and managed by set_stage().
+  const char* stage = tl_state.stage;
+  tl_state = saved_;
+  tl_state.stage = stage;
+}
+
+}  // namespace musa::deadline

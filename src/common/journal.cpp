@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,11 @@ namespace musa {
 namespace {
 
 constexpr const char* kMagic = "musa-journal v1";
+/// Reserved key prefix marking a quarantine (FAIL) record; its payload is
+/// the fixed four-cell {class, stage, attempts, message} schema.
+constexpr const char* kFailPrefix = "FAIL!";
+constexpr std::size_t kFailCells = 4;
+constexpr std::size_t kFailMessageMax = 240;
 
 std::string join(const std::vector<std::string>& cells, char sep) {
   std::string out;
@@ -55,6 +62,36 @@ bool line_clean(const std::string& s) {
   return s.find_first_of("\t\n\r") == std::string::npos;
 }
 
+bool has_fail_prefix(const std::string& key) {
+  return key.compare(0, std::strlen(kFailPrefix), kFailPrefix) == 0;
+}
+
+/// Exception texts are arbitrary; make them record-safe instead of letting
+/// a comma in a message abort the quarantine path.
+std::string sanitize_message(std::string msg) {
+  for (char& ch : msg)
+    if (ch == '\t' || ch == '\n' || ch == '\r' || ch == ',') ch = ';';
+  if (msg.size() > kFailMessageMax) {
+    msg.resize(kFailMessageMax - 3);
+    msg += "...";
+  }
+  return msg;
+}
+
+std::vector<std::string> fail_cells(const ResultJournal::FailRecord& fail) {
+  return {sanitize_message(fail.error_class), sanitize_message(fail.stage),
+          std::to_string(fail.attempts), sanitize_message(fail.message)};
+}
+
+ResultJournal::FailRecord parse_fail(const std::vector<std::string>& cells) {
+  ResultJournal::FailRecord fail;
+  fail.error_class = cells[0];
+  fail.stage = cells[1];
+  fail.attempts = std::atoi(cells[2].c_str());
+  fail.message = cells[3];
+  return fail;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a64(const std::string& data) {
@@ -94,6 +131,14 @@ ResultJournal::LoadResult ResultJournal::read(
       continue;
     }
     std::vector<std::string> cells = split(parts[1], ',');
+    if (has_fail_prefix(parts[0])) {
+      if (cells.size() != kFailCells) {
+        ++out.dropped;
+        continue;
+      }
+      out.fails[parts[0].substr(std::strlen(kFailPrefix))] = parse_fail(cells);
+      continue;
+    }
     if (cells.size() != header.size()) {
       ++out.dropped;
       continue;
@@ -102,6 +147,12 @@ ResultJournal::LoadResult ResultJournal::read(
   }
   // A file that ends without a final newline has a truncated tail record;
   // the checksum (or part count) already rejected it above.
+
+  // Good-beats-FAIL resolution, independent of record order: a key that
+  // eventually produced a result is not quarantined, no matter how many
+  // FAIL rows an earlier run appended for it.
+  for (auto it = out.fails.begin(); it != out.fails.end();)
+    it = out.entries.count(it->first) != 0 ? out.fails.erase(it) : ++it;
   return out;
 }
 
@@ -120,12 +171,17 @@ ResultJournal::ResultJournal(std::string path, std::vector<std::string> header)
     loaded = LoadResult{};
   }
   entries_ = std::move(loaded.entries);
+  fails_ = std::move(loaded.fails);
   dropped_ = loaded.dropped;
 
   // Compact: rewrite only the valid records so a corrupt tail from a crash
-  // (or a stale-schema file) cannot collide with the next append.
+  // (or a stale-schema file) cannot collide with the next append. Surviving
+  // FAIL rows (quarantines without a good row) are kept — they are what
+  // --retry-failed and the quarantine report resume from.
   std::string text = std::string(kMagic) + '\n' + join(header_, ',') + '\n';
   for (const auto& [key, cells] : entries_) text += record_line(key, cells);
+  for (const auto& [key, fail] : fails_)
+    text += record_line(kFailPrefix + key, fail_cells(fail));
   atomic_write_file(path_, text);
   out_ = std::make_unique<DurableAppender>(path_);
 }
@@ -140,11 +196,45 @@ void ResultJournal::append(const std::string& key,
   for (const auto& cell : row)
     MUSA_CHECK_MSG(line_clean(cell) && cell.find(',') == std::string::npos,
                    "journal cell contains a delimiter: " + cell);
+  MUSA_CHECK_MSG(!has_fail_prefix(key),
+                 "journal key collides with the FAIL prefix: " + key);
   const std::string line = record_line(key, row);
   std::lock_guard<std::mutex> lock(mu_);
   MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
+  if (mutator_) {
+    const std::string mutated = mutator_(key, line);
+    if (mutated != line) {
+      // A mutated record is lost work: write the damaged bytes (the next
+      // load drops them via the checksum) but do not remember the entry,
+      // exactly matching what a crash-and-restart would observe.
+      out_->append(mutated);
+      return;
+    }
+  }
   out_->append(line);
   entries_[key] = row;
+  fails_.erase(key);
+}
+
+void ResultJournal::append_fail(const std::string& key,
+                                const FailRecord& fail) {
+  MUSA_CHECK_MSG(line_clean(key), "journal key contains a delimiter: " + key);
+  FailRecord clean;
+  clean.error_class = sanitize_message(fail.error_class);
+  clean.stage = sanitize_message(fail.stage);
+  clean.attempts = fail.attempts;
+  clean.message = sanitize_message(fail.message);
+  const std::string line = record_line(kFailPrefix + key, fail_cells(clean));
+  std::lock_guard<std::mutex> lock(mu_);
+  MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
+  out_->append(line);
+  // Good beats FAIL: a quarantine row never shadows a completed result.
+  if (entries_.count(key) == 0) fails_[key] = std::move(clean);
+}
+
+void ResultJournal::set_append_mutator(AppendMutator mutator) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mutator_ = std::move(mutator);
 }
 
 void ResultJournal::discard() {

@@ -18,9 +18,17 @@
 // column set is discarded wholesale instead of being misinterpreted. Keys
 // identify a sweep point (e.g. "app|config-id"); a duplicate key keeps the
 // last record, so re-running a point is idempotent.
+//
+// Quarantine (FAIL) rows share the record format under a reserved key
+// prefix: a record with key "FAIL!<key>" carries the fixed four-cell
+// payload {error class, stage, attempts, message} instead of a result row.
+// Resolution is idempotent and order-independent: a good row for a key
+// always supersedes any FAIL row for the same key (a quarantine must never
+// shadow a real result), and duplicate FAIL rows dedupe to the last one.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,9 +44,19 @@ class ResultJournal {
  public:
   using Entries = std::unordered_map<std::string, std::vector<std::string>>;
 
+  /// One quarantined point: why it failed, where, after how many attempts.
+  struct FailRecord {
+    std::string error_class;  // error_class_name() of the final failure
+    std::string stage;        // pipeline stage marker ("" when unknown)
+    int attempts = 0;         // attempts consumed before quarantine
+    std::string message;      // sanitised exception text
+  };
+  using Fails = std::unordered_map<std::string, FailRecord>;
+
   /// Result of scanning a journal file without opening it for writing.
   struct LoadResult {
     Entries entries;                // valid records, last write per key wins
+    Fails fails;                    // quarantined keys without a good row
     std::size_t dropped = 0;        // corrupt/truncated records discarded
     bool schema_mismatch = false;   // header lines did not match `header`
   };
@@ -67,9 +85,33 @@ class ResultJournal {
   /// Records dropped while loading (corruption from a previous crash).
   std::size_t dropped_on_load() const { return dropped_; }
 
+  /// Quarantined keys loaded or appended, minus any key that also has a
+  /// good row (good always supersedes FAIL).
+  const Fails& fails() const { return fails_; }
+  bool contains_fail(const std::string& key) const {
+    return fails_.count(key) != 0;
+  }
+
   /// Appends one record and fsyncs it before returning. Thread-safe. The
   /// key must be line-clean (no tab/newline); cells must be CSV-clean.
+  /// A good row retires any in-memory FAIL record for the same key.
   void append(const std::string& key, const std::vector<std::string>& row);
+
+  /// Appends a quarantine (FAIL) record for `key`. The message is
+  /// sanitised (delimiters stripped, length-bounded) rather than rejected —
+  /// quarantine must never fail because an exception text contained a
+  /// comma. Thread-safe.
+  void append_fail(const std::string& key, const FailRecord& fail);
+
+  /// Chaos/test hook: transforms a serialised record line just before it
+  /// hits the appender (the checksum is already inside the line, so any
+  /// mutation is detectable on load). A mutated record is treated as lost:
+  /// it is not entered into the in-memory maps, exactly matching what a
+  /// process restart would observe. Install before concurrent appends.
+  using AppendMutator =
+      std::function<std::string(const std::string& key,
+                                const std::string& line)>;
+  void set_append_mutator(AppendMutator mutator);
 
   /// Closes the append handle and deletes the journal file (after the final
   /// artifact has been atomically written).
@@ -79,8 +121,10 @@ class ResultJournal {
   std::string path_;
   std::vector<std::string> header_;
   Entries entries_;
+  Fails fails_;
   std::size_t dropped_ = 0;
   std::unique_ptr<class DurableAppender> out_;
+  AppendMutator mutator_;
   std::mutex mu_;
 };
 

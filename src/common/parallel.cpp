@@ -77,6 +77,7 @@ WorkQueue::WorkQueue(std::uint64_t n, std::uint64_t chunk)
 }
 
 bool WorkQueue::next(std::uint64_t& begin, std::uint64_t& end) {
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
   const std::uint64_t b = next_.fetch_add(chunk_, std::memory_order_relaxed);
   if (b >= n_) return false;
   begin = b;
@@ -115,15 +116,36 @@ void parallel_dynamic(std::uint64_t n, int threads, std::uint64_t chunk,
       static_cast<int>(std::clamp<std::uint64_t>(std::max(1, threads), 1, n));
   parallel_workers(workers, [&](int) {
     std::uint64_t begin = 0, end = 0;
-    while (queue.next(begin, end))
-      for (std::uint64_t i = begin; i < end; ++i) fn(i);
+    while (queue.next(begin, end)) {
+      for (std::uint64_t i = begin; i < end; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          // First failure drains the queue: other workers finish their
+          // current item and stop, instead of chewing through thousands of
+          // doomed points while this exception waits to be rethrown.
+          queue.cancel();
+          throw;
+        }
+        if (queue.cancelled()) return;
+      }
+    }
   });
 }
 
 void parallel_for(std::uint64_t n, int threads,
                   const std::function<void(std::uint64_t)>& fn) {
+  std::atomic<bool> stop{false};
   parallel_blocks(n, threads, [&](std::uint64_t begin, std::uint64_t end) {
-    for (std::uint64_t i = begin; i < end; ++i) fn(i);
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (stop.load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        stop.store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }
   });
 }
 

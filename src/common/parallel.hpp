@@ -21,7 +21,10 @@ int default_thread_count();
 /// Runs fn(i) for i in [0, n) on up to `threads` workers. Indices are
 /// block-partitioned, so writes to disjoint slots of a pre-sized vector are
 /// race-free and the result layout is identical to a serial run. Exceptions
-/// thrown by fn are rethrown on the calling thread (first one wins).
+/// thrown by fn are rethrown on the calling thread (first one wins); the
+/// first exception also cancels indices not yet started on every worker,
+/// so a failing sweep aborts promptly instead of simulating the remaining
+/// thousands of points first.
 void parallel_for(std::uint64_t n, int threads,
                   const std::function<void(std::uint64_t)>& fn);
 
@@ -39,8 +42,18 @@ class WorkQueue {
  public:
   explicit WorkQueue(std::uint64_t n, std::uint64_t chunk = 1);
 
-  /// Claims the next chunk. Returns false when no work remains.
+  /// Claims the next chunk. Returns false when no work remains or the
+  /// queue has been cancelled.
   bool next(std::uint64_t& begin, std::uint64_t& end);
+
+  /// Stops handing out work: every subsequent next() returns false.
+  /// Chunks already claimed keep running — cancellation is cooperative.
+  /// Called by parallel_dynamic when a worker throws, and by the DSE
+  /// engine's fail-fast path.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
 
   std::uint64_t size() const { return n_; }
 
@@ -48,6 +61,7 @@ class WorkQueue {
   std::uint64_t n_;
   std::uint64_t chunk_;
   std::atomic<std::uint64_t> next_{0};
+  std::atomic<bool> cancelled_{false};
 };
 
 /// Runs fn(worker_index) on up to `threads` workers (at least one). Workers
@@ -58,7 +72,9 @@ void parallel_workers(int threads, const std::function<void(int)>& fn);
 
 /// Dynamic counterpart of parallel_for: fn(i) for i in [0, n), scheduled in
 /// `chunk`-sized ranges stolen from a shared queue, so skewed per-item cost
-/// balances across workers automatically.
+/// balances across workers automatically. The first exception cancels the
+/// queue (remaining chunks are never claimed) and is rethrown on the
+/// calling thread.
 void parallel_dynamic(std::uint64_t n, int threads, std::uint64_t chunk,
                       const std::function<void(std::uint64_t)>& fn);
 

@@ -1,18 +1,23 @@
 #include "core/dse.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
+#include "common/deadline.hpp"
 #include "common/journal.hpp"
 #include "common/parallel.hpp"
 #include "common/progress.hpp"
 #include "common/stats.hpp"
 #include "verify/config_rules.hpp"
+#include "verify/faultpoint.hpp"
 #include "verify/invariants.hpp"
 
 namespace musa::core {
@@ -271,6 +276,89 @@ SweepReport DseEngine::sweep(bool force) {
                             : std::make_shared<StageMemo>(
                                   pipeline_options_fingerprint(
                                       pipeline_.options()));
+  // One point, with containment: a wall-clock budget armed around the whole
+  // pipeline run, bounded retries (with exponential backoff) for transient
+  // io-class failures, and quarantine (a journaled FAIL row) for everything
+  // else. Returns true on success. In fail-fast mode — or when there is no
+  // journal to quarantine into (in-memory sweeps) — failures cancel the
+  // queue and rethrow instead.
+  std::atomic<std::uint64_t> succeeded{0};
+  std::atomic<std::uint64_t> io_retries{0};
+  const auto run_one = [&](Pipeline& local, std::uint64_t idx,
+                           ResultJournal* journal, WorkQueue& queue) {
+    const std::string& key = plan.keys[idx];
+    for (int attempt = 1;; ++attempt) {
+      try {
+        deadline::set_stage("");
+        deadline::Scope budget(options_.point_timeout_s);
+        const SimResult r = local.run(plan.app_of(idx), plan.config_of(idx));
+        // Fresh result: a violated invariant here is a model bug — the
+        // point quarantines as `invariant` (or aborts the sweep in strict
+        // mode) rather than journaling a bad row.
+        if (options_.verify) {
+          deadline::set_stage("verify");
+          verify::verify_result(r);
+        }
+        if (journal) {
+          verify::fault_point("journal.append", key);
+          journal->append(key, to_row(r));
+        } else {
+          results_[idx] = r;  // disjoint slots, race-free
+        }
+        succeeded.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      } catch (const SimError& e) {
+        if (options_.fail_fast || journal == nullptr) {
+          queue.cancel();
+          throw;
+        }
+        const ErrorClass cls = e.error_class();
+        if (cls == ErrorClass::kIo && attempt < options_.max_io_attempts) {
+          // Transient: back off and retry the same point in place. The
+          // backoff doubles per attempt; deterministic classes never reach
+          // here (same inputs, same failure).
+          io_retries.fetch_add(1, std::memory_order_relaxed);
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
+          continue;
+        }
+        ResultJournal::FailRecord fail;
+        fail.error_class = error_class_name(cls);
+        fail.stage =
+            !e.stage().empty() ? e.stage() : deadline::current_stage();
+        fail.attempts = attempt;
+        fail.message = e.what();
+        journal->append_fail(key, fail);
+        if (options_.verbose)
+          std::fprintf(stderr,
+                       "[dse] quarantined %s after %d attempt(s): %s "
+                       "(class %s, stage %s)\n",
+                       key.c_str(), attempt, e.what(),
+                       fail.error_class.c_str(),
+                       fail.stage.empty() ? "unknown" : fail.stage.c_str());
+        return false;
+      } catch (const std::exception& e) {
+        // Foreign exception (bad_alloc, logic_error from a dependency):
+        // contain it like a model-class failure so one point cannot kill
+        // the sweep, unless the caller asked for fail-fast.
+        if (options_.fail_fast || journal == nullptr) {
+          queue.cancel();
+          throw;
+        }
+        ResultJournal::FailRecord fail;
+        fail.error_class = error_class_name(ErrorClass::kModel);
+        fail.stage = deadline::current_stage();
+        fail.attempts = attempt;
+        fail.message = e.what();
+        journal->append_fail(key, fail);
+        if (options_.verbose)
+          std::fprintf(stderr, "[dse] quarantined %s: %s\n", key.c_str(),
+                       e.what());
+        return false;
+      }
+    }
+  };
+
   const auto run_points = [&](const std::vector<std::uint64_t>& todo,
                               ResultJournal* journal) {
     if (todo.empty()) return;
@@ -285,21 +373,14 @@ SweepReport DseEngine::sweep(bool force) {
       std::uint64_t begin = 0, end = 0;
       while (queue.next(begin, end))
         for (std::uint64_t t = begin; t < end; ++t) {
-          const std::uint64_t idx = todo[t];
-          const SimResult r = local.run(plan.app_of(idx), plan.config_of(idx));
-          // Fresh result: a violated invariant here is a model bug — throw
-          // (rethrown on the caller) rather than journal a bad point.
-          if (options_.verify) verify::verify_result(r);
-          if (journal)
-            journal->append(plan.keys[idx], to_row(r));
-          else
-            results_[idx] = r;  // disjoint slots, race-free
+          run_one(local, todo[t], journal, queue);
           progress.tick();
         }
       std::lock_guard<std::mutex> lock(merge_mu);
       rep.stages.merge(local.stage_times());
     });
-    rep.computed += todo.size();
+    rep.computed = succeeded.load();
+    rep.retries = io_retries.load();
     if (memo) rep.memo = memo->stats();
   };
 
@@ -345,7 +426,22 @@ SweepReport DseEngine::sweep(bool force) {
   for (const auto& [key, row] : salvage)
     if (!journal.contains(key)) journal.append(key, row);
 
-  const auto merge_siblings = [&](ResultJournal::Entries& known) {
+  // Chaos hook: with an armed fault plan, a corrupt-kind spec firing on
+  // "journal.append" damages the serialised record's checksum so the next
+  // load must detect and drop it — this is how the journal's integrity
+  // checking is itself exercised end-to-end.
+  if (verify::FaultPlan::active())
+    journal.set_append_mutator(
+        [](const std::string& key, const std::string& line) {
+          if (!verify::fault_corrupt("journal.append", key)) return line;
+          std::string out = line;
+          const std::size_t pos = out.size() >= 2 ? out.size() - 2 : 0;
+          out[pos] = out[pos] == '0' ? '1' : '0';
+          return out;
+        });
+
+  const auto merge_siblings = [&](ResultJournal::Entries& known,
+                                  ResultJournal::Fails& fails) {
     for (const auto& path : find_journals(cache_path_)) {
       if (path == journal.path()) continue;
       ResultJournal::LoadResult lr = ResultJournal::read(path, csv_header());
@@ -358,7 +454,13 @@ SweepReport DseEngine::sweep(bool force) {
       rep.dropped += lr.dropped;
       for (auto& [key, row] : lr.entries)
         known.emplace(key, std::move(row));
+      for (auto& [key, fail] : lr.fails)
+        fails.emplace(key, std::move(fail));
     }
+    // Good beats FAIL across journals too: a point one shard quarantined
+    // but a sibling later completed is not quarantined.
+    for (auto it = fails.begin(); it != fails.end();)
+      it = known.count(it->first) != 0 ? fails.erase(it) : ++it;
   };
 
   // Journaled rows passed their checksum, but may still predate a model fix
@@ -383,17 +485,32 @@ SweepReport DseEngine::sweep(bool force) {
   };
 
   ResultJournal::Entries known = journal.entries();
-  merge_siblings(known);
+  ResultJournal::Fails fails = journal.fails();
+  merge_siblings(known, fails);
   drop_invalid(known, /*count=*/true);
 
   std::vector<std::uint64_t> missing;
+  std::uint64_t skipped_quarantined = 0;
   for (std::uint64_t i = 0; i < plan.size(); ++i) {
     if (i % options_.shard_count !=
         static_cast<std::uint64_t>(options_.shard_index))
       continue;
-    if (known.find(plan.keys[i]) == known.end()) missing.push_back(i);
+    if (known.find(plan.keys[i]) != known.end()) continue;
+    // A quarantined point is "known to fail": skip it on resume so a
+    // deterministic failure is not re-simulated run after run — unless the
+    // caller explicitly asked to retry the quarantine set.
+    if (!options_.retry_failed && fails.count(plan.keys[i]) != 0) {
+      ++skipped_quarantined;
+      continue;
+    }
+    missing.push_back(i);
   }
-  rep.resumed = rep.shard_points - missing.size();
+  rep.resumed = rep.shard_points - missing.size() - skipped_quarantined;
+  if (options_.verbose && skipped_quarantined > 0)
+    std::fprintf(stderr,
+                 "[dse] skipping %llu quarantined point(s); rerun with "
+                 "--retry-failed to retry them\n",
+                 static_cast<unsigned long long>(skipped_quarantined));
   if (options_.verbose && rep.resumed > 0)
     std::fprintf(stderr,
                  "[dse] resuming: %llu of this shard's %llu points already "
@@ -408,8 +525,24 @@ SweepReport DseEngine::sweep(bool force) {
   // (or sharded) sweep produces a byte-identical cache to an uninterrupted
   // one.
   known = journal.entries();
-  merge_siblings(known);
+  fails = journal.fails();
+  merge_siblings(known, fails);
   drop_invalid(known, /*count=*/false);  // already counted before computing
+
+  // The quarantine set after this call, sorted for a stable report.
+  rep.quarantined = fails.size();
+  rep.quarantine.reserve(fails.size());
+  for (const auto& [key, fail] : fails)
+    rep.quarantine.push_back(
+        {key, fail.error_class, fail.stage, fail.attempts, fail.message});
+  std::sort(rep.quarantine.begin(), rep.quarantine.end(),
+            [](const QuarantinePoint& a, const QuarantinePoint& b) {
+              return a.key < b.key;
+            });
+
+  // Finalize only on *good* coverage: quarantined points keep the cache
+  // unwritten (the journal carries the sweep's full state) so a later
+  // --retry-failed run can still converge to a byte-identical cache.
   bool complete = true;
   for (const auto& key : plan.keys)
     if (known.find(key) == known.end()) {
@@ -432,12 +565,20 @@ SweepReport DseEngine::sweep(bool force) {
     ready_ = true;
     rep.finalized = true;
   } else if (options_.verbose) {
-    std::fprintf(stderr,
-                 "[dse] shard %d/%d complete (%llu known of %llu total); "
-                 "rerun after the sibling shards finish to merge\n",
-                 options_.shard_index, options_.shard_count,
-                 static_cast<unsigned long long>(known.size()),
-                 static_cast<unsigned long long>(plan.size()));
+    if (rep.quarantined > 0)
+      std::fprintf(stderr,
+                   "[dse] sweep incomplete: %llu point(s) quarantined "
+                   "(%llu known of %llu total); cache not finalized\n",
+                   static_cast<unsigned long long>(rep.quarantined),
+                   static_cast<unsigned long long>(known.size()),
+                   static_cast<unsigned long long>(plan.size()));
+    else
+      std::fprintf(stderr,
+                   "[dse] shard %d/%d complete (%llu known of %llu total); "
+                   "rerun after the sibling shards finish to merge\n",
+                   options_.shard_index, options_.shard_count,
+                   static_cast<unsigned long long>(known.size()),
+                   static_cast<unsigned long long>(plan.size()));
   }
   report_ = rep;
   return rep;
@@ -452,6 +593,13 @@ void DseEngine::clear_cache() {
 
 void DseEngine::ensure_results() {
   if (!ready_) sweep();
+  if (!ready_ && report_.quarantined > 0)
+    throw SimError("sweep results unavailable: " +
+                       std::to_string(report_.quarantined) +
+                       " point(s) are quarantined; inspect the quarantine "
+                       "report and rerun with --retry-failed once the cause "
+                       "is fixed",
+                   ErrorClass::kModel);
   MUSA_CHECK_MSG(ready_,
                  "sweep results unavailable: sibling shards have not "
                  "finished; rerun once every shard's journal exists");

@@ -97,10 +97,44 @@ struct SweepOptions {
   /// a suspected staleness bug (DESIGN.md explains the argument).
   bool memoize = true;
 
+  /// Failure containment (DESIGN.md "Failure model"). By default a point
+  /// that throws is *quarantined*: journaled as a checksummed FAIL row
+  /// carrying {error class, stage, attempts, message}, and the sweep keeps
+  /// going — one pathological point must not discard thousands of healthy
+  /// ones. `fail_fast` (run_dse --strict) restores the old behaviour: the
+  /// first failure cancels the queue and rethrows.
+  bool fail_fast = false;
+
+  /// Re-run points with a FAIL row. Off, a quarantined point counts as
+  /// "known" on resume (the sweep does not retry it run after run); on
+  /// (run_dse --retry-failed), exactly the quarantined points recompute.
+  bool retry_failed = false;
+
+  /// Wall-clock budget per point in seconds (0 = unlimited). Enforced by
+  /// the cooperative watchdog (common/deadline.hpp): a point that exceeds
+  /// it throws SimError{timeout} from a hot-loop poll and quarantines.
+  double point_timeout_s = 0.0;
+
+  /// Retry policy for *transient* failures: an `io`-class error is retried
+  /// up to max_io_attempts times with exponential backoff before the point
+  /// quarantines. Deterministic classes (model, invariant, config, timeout,
+  /// injected) never retry — the same inputs would fail the same way.
+  int max_io_attempts = 3;
+  double retry_backoff_s = 0.05;
+
   /// Test hooks: restrict the plan to these configs / app names
   /// (empty → ConfigSpace::full_space() / every registry app).
   std::vector<MachineConfig> configs;
   std::vector<std::string> apps;
+};
+
+/// One quarantined sweep point, for the post-sweep report.
+struct QuarantinePoint {
+  std::string key;          // "app|config-id"
+  std::string error_class;  // error_class_name() of the final failure
+  std::string stage;        // stage marker at failure ("" when unknown)
+  int attempts = 0;         // attempts consumed before quarantine
+  std::string message;      // sanitised exception text
 };
 
 /// What one sweep() call did — the engine's observability surface.
@@ -108,12 +142,15 @@ struct SweepReport {
   std::uint64_t total = 0;         // points in the full plan
   std::uint64_t shard_points = 0;  // points owned by this shard
   std::uint64_t resumed = 0;       // shard points already in cache/journals
-  std::uint64_t computed = 0;      // points simulated by this call
+  std::uint64_t computed = 0;      // points simulated successfully this call
   std::uint64_t dropped = 0;       // corrupt journal records discarded
   std::uint64_t invalid = 0;       // loaded rows failing invariant checks
+  std::uint64_t quarantined = 0;   // points with a FAIL row after this call
+  std::uint64_t retries = 0;       // extra attempts spent on io-class errors
   bool finalized = false;          // cache CSV written (plan fully covered)
   StageTimes stages;               // per-stage wall time of computed points
   MemoStats memo;                  // shared-memo hit/miss counters
+  std::vector<QuarantinePoint> quarantine;  // sorted by key
 };
 
 class DseEngine {

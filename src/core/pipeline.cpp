@@ -5,10 +5,12 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/deadline.hpp"
 #include "common/units.hpp"
 #include "cpusim/core_model.hpp"
 #include "powersim/power.hpp"
 #include "trace/kernel.hpp"
+#include "verify/faultpoint.hpp"
 
 namespace musa::core {
 
@@ -53,6 +55,7 @@ void functional_warm(trace::InstrSource& source,
                      std::uint64_t instrs) {
   isa::Instr in;
   for (std::uint64_t i = 0; i < instrs && source.next(in); ++i) {
+    deadline::poll();
     if (isa::is_mem(in.op))
       hierarchy.access(0, in.addr, in.op == isa::OpClass::kStore);
   }
@@ -101,7 +104,12 @@ Pipeline::Pipeline(PipelineOptions options, std::shared_ptr<StageMemo> memo)
 const trace::Region& Pipeline::region_of(const apps::AppModel& app,
                                          std::size_t phase) {
   auto make = [&] {
-    return apps::make_region(app.phases().at(phase), options_.seed + phase);
+    const char* prev = deadline::set_stage("trace");
+    verify::fault_point("pipeline.trace", app.name);
+    auto region =
+        apps::make_region(app.phases().at(phase), options_.seed + phase);
+    deadline::set_stage(prev);
+    return region;
   };
   if (memo_) return memo_->region(app, phase, make);
   const MemoKey key{app_fingerprint(app), phase};
@@ -113,7 +121,11 @@ const trace::Region& Pipeline::region_of(const apps::AppModel& app,
 const trace::AppTrace& Pipeline::trace_of(const apps::AppModel& app,
                                           int ranks) {
   auto make = [&] {
-    return apps::make_burst_trace(app, ranks, options_.seed + 1);
+    const char* prev = deadline::set_stage("trace");
+    verify::fault_point("pipeline.trace", app.name);
+    auto trace = apps::make_burst_trace(app, ranks, options_.seed + 1);
+    deadline::set_stage(prev);
+    return trace;
   };
   if (memo_) return memo_->trace(app, ranks, make);
   const MemoKey key{app_fingerprint(app), static_cast<std::uint64_t>(ranks)};
@@ -178,6 +190,7 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
 
   // The DRAM system is genuinely per-point (technology, channels and the
   // active-core bandwidth share all vary), so it is never memoized.
+  verify::fault_point("dram.sim", app.name + "|" + config.id());
   dramsim::DramTiming dram_timing = dramsim::timing_for(config.mem_tech);
   if (config.cores > 1)
     dram_timing.bytes_per_clock /= std::max(1.0, active_cores);
@@ -311,12 +324,15 @@ SimResult Pipeline::run(const apps::AppModel& app,
                         const MachineConfig& config) {
   MUSA_CHECK_MSG(config.cores >= 1 && config.ranks >= 1, "bad machine size");
   const std::vector<apps::Phase> phases = app.phases();
+  const std::string point = app.name + "|" + config.id();
 
   // Burst-mode pre-pass estimates how many cores actually hold tasks
   // (drives the L3 capacity share in detailed mode). It depends only on
   // (app, cores) — 3 distinct values per app across the whole sweep — so
   // with a memo attached the full pre-pass runs once per pair.
   auto stage_t0 = std::chrono::steady_clock::now();
+  deadline::set_stage("burst");
+  verify::fault_point("pipeline.burst", point);
   double burst_concurrency = 0.0;
   if (memo_) {
     burst_concurrency = memo_->burst_concurrency(app, config.cores, [&] {
@@ -347,6 +363,8 @@ SimResult Pipeline::run(const apps::AppModel& app,
   dramsim::DramCounters node_dram;
   double mpki_l1 = 0, mpki_l2 = 0, mpki_l3 = 0, ipc = 0;
 
+  deadline::set_stage("kernel");
+  verify::fault_point("pipeline.kernel", point);
   struct PhaseOutcome {
     DetailedTiming detail;
     cpusim::NodeResult node;
@@ -411,6 +429,8 @@ SimResult Pipeline::run(const apps::AppModel& app,
   stage_times_.kernel_s += lap_s(stage_t0);
 
   // --- Machine level: MPI replay ------------------------------------------
+  deadline::set_stage("replay");
+  verify::fault_point("pipeline.replay", point);
   netsim::DimemasEngine net(options_.network);
   netsim::ReplayOptions ropts;
   ropts.region_scale = std::move(scales);
@@ -420,6 +440,8 @@ SimResult Pipeline::run(const apps::AppModel& app,
   stage_times_.replay_s += lap_s(stage_t0);
 
   // --- Power ---------------------------------------------------------------
+  deadline::set_stage("power");
+  verify::fault_point("pipeline.power", point);
   const powersim::CorePower core_power(config.core, config.vector_bits,
                                        config.freq_ghz);
   const powersim::CachePower cache_power(config.cache_config(config.cores),

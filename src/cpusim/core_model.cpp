@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/deadline.hpp"
 #include "isa/latencies.hpp"
 #include "trace/instr_source.hpp"
 
@@ -189,6 +190,7 @@ CoreStats CoreModel::run(trace::InstrSource& source,
           stats.scalar_instrs < options.max_scalar_instrs) &&
          (options.max_cycle == 0.0 || last_commit < options.max_cycle) &&
          fusion.next(op)) {
+    deadline::poll();
     const isa::OpClass cls = op.first.op;
 
     // ---- Dispatch: bandwidth + ROB + RF + SB occupancy ----

@@ -5,6 +5,7 @@
 #include <tuple>
 
 #include "common/check.hpp"
+#include "common/deadline.hpp"
 
 namespace musa::cpusim {
 
@@ -73,6 +74,7 @@ NodeResult RuntimeSim::schedule(const trace::Region& region,
   std::size_t completed = 0;
 
   while (!ready.empty()) {
+    deadline::poll();
     const auto [task_ready, key, idx] = ready.top();
     (void)key;
     ready.pop();

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "common/deadline.hpp"
 #include "common/rng.hpp"
 
 namespace musa::netsim {
@@ -111,6 +112,7 @@ ReplayResult DimemasEngine::replay(const trace::AppTrace& app,
 
   bool all_done = false;
   while (!all_done) {
+    deadline::poll();
     bool progress = false;
     all_done = true;
 

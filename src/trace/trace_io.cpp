@@ -1,6 +1,7 @@
 #include "trace/trace_io.hpp"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -19,6 +20,18 @@ constexpr std::uint32_t kRegionMagic = 0x4D555352;  // "MUSR"
 constexpr std::uint32_t kInstrMagic = 0x4D555349;  // "MUSI"
 constexpr std::uint32_t kVersion = 1;
 
+/// Every malformed-input path lands here: an io-class SimError naming the
+/// stream offset where the damage was noticed, so a corrupt trace can be
+/// located with `xxd` instead of guessed at. Truncation and garbage fields
+/// must never become UB or a silently shorter trace.
+[[noreturn]] void bad_trace(std::istream& in, const std::string& what) {
+  in.clear();  // tellg() returns -1 on a failed stream otherwise
+  const auto pos = static_cast<long long>(in.tellg());
+  throw SimError("corrupt trace: " + what + " (near byte offset " +
+                     std::to_string(pos) + ")",
+                 ErrorClass::kIo, "trace");
+}
+
 template <typename T>
 void put(std::ostream& out, const T& value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof value);
@@ -28,7 +41,7 @@ template <typename T>
 T get(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof value);
-  MUSA_CHECK_MSG(in.good(), "trace file truncated");
+  if (!in.good()) bad_trace(in, "file truncated mid-field");
   return value;
 }
 
@@ -39,29 +52,63 @@ void put_string(std::ostream& out, const std::string& s) {
 
 std::string get_string(std::istream& in) {
   const auto n = get<std::uint32_t>(in);
-  MUSA_CHECK_MSG(n < (1u << 20), "implausible string length in trace file");
+  if (n >= (1u << 20)) bad_trace(in, "implausible string length");
   std::string s(n, '\0');
   in.read(s.data(), n);
-  MUSA_CHECK_MSG(in.good(), "trace file truncated");
+  if (!in.good()) bad_trace(in, "file truncated inside a string");
   return s;
 }
 
 void check_header(std::istream& in, std::uint32_t magic, const char* what) {
-  MUSA_CHECK_MSG(get<std::uint32_t>(in) == magic,
-                 std::string("not a ") + what + " trace file");
-  MUSA_CHECK_MSG(get<std::uint32_t>(in) == kVersion,
-                 std::string("unsupported ") + what + " trace version");
+  if (get<std::uint32_t>(in) != magic)
+    bad_trace(in, std::string("not a ") + what + " trace file (bad magic)");
+  if (get<std::uint32_t>(in) != kVersion)
+    bad_trace(in, std::string("unsupported ") + what + " trace version");
+}
+
+/// A reader that consumed its declared contents must also have consumed the
+/// file: trailing bytes mean a length field was corrupted *smaller* (the
+/// per-field truncation checks cannot see that) and part of the trace was
+/// silently ignored.
+void expect_eof(std::istream& in) {
+  if (in.peek() != std::char_traits<char>::eof())
+    bad_trace(in, "trailing bytes after the declared contents "
+                  "(shrunk length field?)");
+}
+
+/// Tags stream-level errors with the file they came from.
+template <typename Fn>
+auto with_path(const std::string& path, Fn&& fn) {
+  try {
+    return fn();
+  } catch (const SimError& e) {
+    if (e.error_class() != ErrorClass::kIo) throw;
+    throw SimError(path + ": " + e.what(), ErrorClass::kIo, "trace");
+  }
 }
 
 std::ofstream open_out(const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  MUSA_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+  if (!out.good())
+    throw SimError("cannot open for writing: " + path, ErrorClass::kIo,
+                   "trace");
   return out;
+}
+
+/// A writer that reports success must have durably produced every byte: a
+/// full disk truncates silently otherwise and the *reader* pays for it.
+void close_out(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out.good())
+    throw SimError("short write (disk full?): " + path, ErrorClass::kIo,
+                   "trace");
 }
 
 std::ifstream open_in(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  MUSA_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+  if (!in.good())
+    throw SimError("cannot open for reading: " + path, ErrorClass::kIo,
+                   "trace");
   return in;
 }
 
@@ -97,21 +144,31 @@ AppTrace read_app_trace(std::istream& in) {
   AppTrace trace;
   trace.app_name = get_string(in);
   const auto ranks = get<std::uint32_t>(in);
-  MUSA_CHECK_MSG(ranks <= 1u << 20, "implausible rank count in trace");
+  if (ranks > 1u << 20) bad_trace(in, "implausible rank count");
   trace.ranks.resize(ranks);
   for (auto& rank : trace.ranks) {
     rank.rank = get<std::int32_t>(in);
     const auto n = get<std::uint64_t>(in);
-    MUSA_CHECK_MSG(n <= 1ull << 32, "implausible event count in trace");
+    if (n > 1ull << 32) bad_trace(in, "implausible event count");
     rank.events.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) {
-      const auto kind = static_cast<BurstEvent::Kind>(get<std::uint8_t>(in));
-      if (kind == BurstEvent::Kind::kCompute) {
+      // Enum bytes are validated before the cast: a flipped bit must fail
+      // the load here, not surface later as UB in a switch over the enum.
+      const auto kind_raw = get<std::uint8_t>(in);
+      if (kind_raw > static_cast<std::uint8_t>(BurstEvent::Kind::kMpi))
+        bad_trace(in, "invalid event kind byte");
+      if (static_cast<BurstEvent::Kind>(kind_raw) ==
+          BurstEvent::Kind::kCompute) {
         const double seconds = get<double>(in);
+        if (!std::isfinite(seconds) || seconds < 0.0)
+          bad_trace(in, "non-finite or negative compute-burst duration");
         const auto region = get<std::int32_t>(in);
         rank.events.push_back(BurstEvent::compute(seconds, region));
       } else {
-        const auto op = static_cast<MpiOp>(get<std::uint8_t>(in));
+        const auto op_raw = get<std::uint8_t>(in);
+        if (op_raw > static_cast<std::uint8_t>(MpiOp::kBarrier))
+          bad_trace(in, "invalid MPI op byte");
+        const auto op = static_cast<MpiOp>(op_raw);
         const auto peer = get<std::int32_t>(in);
         const auto bytes = get<std::uint64_t>(in);
         const auto req = get<std::int32_t>(in);
@@ -125,11 +182,16 @@ AppTrace read_app_trace(std::istream& in) {
 void save_app_trace(const AppTrace& trace, const std::string& path) {
   auto out = open_out(path);
   write_app_trace(trace, out);
+  close_out(out, path);
 }
 
 AppTrace load_app_trace(const std::string& path) {
   auto in = open_in(path);
-  return read_app_trace(in);
+  return with_path(path, [&] {
+    AppTrace trace = read_app_trace(in);
+    expect_eof(in);
+    return trace;
+  });
 }
 
 // ---- Regions --------------------------------------------------------------
@@ -153,18 +215,26 @@ Region read_region(std::istream& in) {
   Region region;
   region.name = get_string(in);
   const auto n = get<std::uint64_t>(in);
-  MUSA_CHECK_MSG(n <= 1ull << 28, "implausible task count in region file");
+  if (n > 1ull << 28) bad_trace(in, "implausible task count");
   region.tasks.reserve(n);
   for (std::uint64_t i = 0; i < n; ++i) {
     TaskInstance t;
     t.type = get<std::int32_t>(in);
     t.work = get<double>(in);
+    if (!std::isfinite(t.work) || t.work < 0.0)
+      bad_trace(in, "non-finite or negative task work");
     t.critical = get<std::uint8_t>(in) != 0;
     const auto deps = get<std::uint32_t>(in);
-    MUSA_CHECK_MSG(deps <= n, "implausible dependency count");
+    if (deps > n) bad_trace(in, "implausible dependency count");
     t.deps.reserve(deps);
-    for (std::uint32_t d = 0; d < deps; ++d)
-      t.deps.push_back(get<std::int32_t>(in));
+    for (std::uint32_t d = 0; d < deps; ++d) {
+      const auto dep = get<std::int32_t>(in);
+      // A dependency index outside the task array would be an out-of-bounds
+      // read in the runtime simulator — reject it at the boundary.
+      if (dep < 0 || static_cast<std::uint64_t>(dep) >= n)
+        bad_trace(in, "task dependency index out of range");
+      t.deps.push_back(dep);
+    }
     region.tasks.push_back(std::move(t));
   }
   return region;
@@ -173,11 +243,16 @@ Region read_region(std::istream& in) {
 void save_region(const Region& region, const std::string& path) {
   auto out = open_out(path);
   write_region(region, out);
+  close_out(out, path);
 }
 
 Region load_region(const std::string& path) {
   auto in = open_in(path);
-  return read_region(in);
+  return with_path(path, [&] {
+    Region region = read_region(in);
+    expect_eof(in);
+    return region;
+  });
 }
 
 // ---- Instruction streams --------------------------------------------------
@@ -197,18 +272,22 @@ std::uint64_t spool_instr_trace(InstrSource& source, const std::string& path,
   }
   out.seekp(count_pos);
   put<std::uint64_t>(out, n);
+  close_out(out, path);
   return n;
 }
 
 FileInstrSource::FileInstrSource(const std::string& path) {
   auto in = open_in(path);
-  check_header(in, kInstrMagic, "instruction");
-  const auto n = get<std::uint64_t>(in);
-  MUSA_CHECK_MSG(n <= 1ull << 32, "implausible instruction count");
-  instrs_.resize(n);
-  in.read(reinterpret_cast<char*>(instrs_.data()),
-          static_cast<std::streamsize>(n * sizeof(isa::Instr)));
-  MUSA_CHECK_MSG(in.good(), "instruction trace truncated");
+  with_path(path, [&] {
+    check_header(in, kInstrMagic, "instruction");
+    const auto n = get<std::uint64_t>(in);
+    if (n > 1ull << 32) bad_trace(in, "implausible instruction count");
+    instrs_.resize(n);
+    in.read(reinterpret_cast<char*>(instrs_.data()),
+            static_cast<std::streamsize>(n * sizeof(isa::Instr)));
+    if (!in.good()) bad_trace(in, "instruction trace truncated");
+    expect_eof(in);
+  });
 }
 
 bool FileInstrSource::next(isa::Instr& out) {
@@ -236,7 +315,8 @@ std::string describe_trace_file(const std::string& path) {
     out << "instruction trace v" << version << ": records=" << n << " ("
         << n * sizeof(isa::Instr) << " bytes payload)";
   } else {
-    throw SimError("unrecognised trace file: " + path);
+    throw SimError("unrecognised trace file: " + path, ErrorClass::kIo,
+                   "trace");
   }
   return out.str();
 }

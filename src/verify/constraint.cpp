@@ -20,10 +20,11 @@ std::string describe(const std::vector<Violation>& violations,
   return out;
 }
 
-void raise_if(const std::vector<Violation>& violations) {
+void raise_if(const std::vector<Violation>& violations, ErrorClass cls) {
   if (violations.empty()) return;
   throw SimError(std::to_string(violations.size()) +
-                 " constraint violation(s):\n" + describe(violations));
+                     " constraint violation(s):\n" + describe(violations),
+                 cls);
 }
 
 std::string kv(const char* name, double value) {

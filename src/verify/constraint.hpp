@@ -30,8 +30,11 @@ struct Violation {
 std::string describe(const std::vector<Violation>& violations,
                      std::size_t max_shown = 8);
 
-/// Throws SimError listing `violations`; no-op when the list is empty.
-void raise_if(const std::vector<Violation>& violations);
+/// Throws SimError listing `violations`, tagged with `cls` so the sweep
+/// supervisor can classify the failure (config lint vs result invariant);
+/// no-op when the list is empty.
+void raise_if(const std::vector<Violation>& violations,
+              ErrorClass cls = ErrorClass::kConfig);
 
 /// A named set of constraints over one subject type. Rules are registered
 /// once (typically into a function-local static) and evaluated many times.
@@ -69,8 +72,9 @@ class RuleSet {
 
   /// Like check(), but throws SimError on the first evaluation that found
   /// any violation.
-  void enforce(const T& value, const std::string& subject) const {
-    raise_if(check(value, subject));
+  void enforce(const T& value, const std::string& subject,
+               ErrorClass cls = ErrorClass::kConfig) const {
+    raise_if(check(value, subject), cls);
   }
 
   const std::vector<Rule>& rules() const { return rules_; }

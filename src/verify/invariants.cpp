@@ -159,7 +159,7 @@ std::vector<Violation> check_result(const core::SimResult& r) {
 }
 
 void verify_result(const core::SimResult& r) {
-  raise_if(check_result(r));
+  raise_if(check_result(r), ErrorClass::kInvariant);
 }
 
 std::vector<Violation> check_results(const std::vector<core::SimResult>& rs) {

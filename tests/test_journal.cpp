@@ -204,5 +204,150 @@ TEST(Journal, FindJournalsMatchesCacheAndShardNames) {
   std::remove(tmp_path("musa_find_other.csv.journal").c_str());
 }
 
+// ---- Quarantine (FAIL) rows -----------------------------------------------
+
+TEST(Journal, FailRowsRoundTripWithChecksum) {
+  const std::string path = tmp_path("musa_journal_fail.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("good", {"1", "2", "3"});
+    j.append_fail("bad", {"io", "kernel", 3, "disk exploded"});
+    EXPECT_TRUE(j.contains_fail("bad"));
+    EXPECT_FALSE(j.contains_fail("good"));
+  }
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(lr.entries.size(), 1u);
+  ASSERT_EQ(lr.fails.size(), 1u);
+  const auto& f = lr.fails.at("bad");
+  EXPECT_EQ(f.error_class, "io");
+  EXPECT_EQ(f.stage, "kernel");
+  EXPECT_EQ(f.attempts, 3);
+  EXPECT_EQ(f.message, "disk exploded");
+  std::remove(path.c_str());
+}
+
+TEST(Journal, GoodRowSupersedesFailInEitherOrder) {
+  const std::string path = tmp_path("musa_journal_fail_order.journal");
+  std::remove(path.c_str());
+  {
+    // FAIL first, then a good row for the same key (a successful retry).
+    ResultJournal j(path, kHeader);
+    j.append_fail("k", {"io", "burst", 1, "flaky"});
+    j.append("k", {"1", "2", "3"});
+    EXPECT_FALSE(j.contains_fail("k"));
+    EXPECT_TRUE(j.contains("k"));
+  }
+  auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_TRUE(lr.fails.empty());
+  EXPECT_EQ(lr.entries.count("k"), 1u);
+
+  // The reverse order on disk (good row written by a sibling before the
+  // FAIL was appended) must resolve identically: good always wins.
+  write_file(path, read_file(path));  // keep compacted form
+  {
+    ResultJournal j(path, kHeader);
+    j.append_fail("k", {"model", "replay", 1, "late quarantine"});
+    // In-memory too: the existing good entry blocks the FAIL.
+    EXPECT_FALSE(j.contains_fail("k"));
+  }
+  lr = ResultJournal::read(path, kHeader);
+  EXPECT_TRUE(lr.fails.empty());
+  EXPECT_EQ(lr.entries.count("k"), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, DuplicateFailRowsDedupeToLast) {
+  const std::string path = tmp_path("musa_journal_fail_dup.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append_fail("k", {"io", "burst", 1, "first"});
+    j.append_fail("k", {"timeout", "replay", 2, "second"});
+  }
+  const auto lr = ResultJournal::read(path, kHeader);
+  ASSERT_EQ(lr.fails.size(), 1u);
+  EXPECT_EQ(lr.fails.at("k").error_class, "timeout");
+  EXPECT_EQ(lr.fails.at("k").message, "second");
+  EXPECT_EQ(lr.fails.at("k").attempts, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FailMessagesAreSanitisedNotRejected) {
+  const std::string path = tmp_path("musa_journal_fail_dirty.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    // Exception text with every delimiter the record format uses, plus an
+    // oversized payload: quarantine must absorb it, never throw.
+    j.append_fail("k", {"io", "ker,nel", 1,
+                        "tab\there, comma, and\nnewline " +
+                            std::string(1000, 'x')});
+  }
+  const auto lr = ResultJournal::read(path, kHeader);
+  ASSERT_EQ(lr.fails.size(), 1u);
+  const auto& f = lr.fails.at("k");
+  EXPECT_EQ(f.stage, "ker;nel");
+  EXPECT_EQ(f.message.find('\t'), std::string::npos);
+  EXPECT_EQ(f.message.find(','), std::string::npos);
+  EXPECT_LE(f.message.size(), 256u);
+  EXPECT_EQ(lr.dropped, 0u);  // sanitised record still checksums clean
+  std::remove(path.c_str());
+}
+
+TEST(Journal, CompactionPreservesUnresolvedFails) {
+  const std::string path = tmp_path("musa_journal_fail_compact.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.append("done", {"1", "2", "3"});
+    j.append_fail("broken", {"invariant", "verify", 1, "bad result"});
+    j.append_fail("fixed", {"io", "burst", 1, "flaky"});
+    j.append("fixed", {"4", "5", "6"});
+  }
+  // Reopen: compaction rewrites the file; the unresolved FAIL must survive,
+  // the resolved one must be gone.
+  {
+    ResultJournal j(path, kHeader);
+    EXPECT_TRUE(j.contains_fail("broken"));
+    EXPECT_FALSE(j.contains_fail("fixed"));
+    EXPECT_TRUE(j.contains("fixed"));
+    EXPECT_EQ(j.size(), 2u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResultKeysMayNotUseTheFailPrefix) {
+  const std::string path = tmp_path("musa_journal_fail_prefix.journal");
+  std::remove(path.c_str());
+  ResultJournal j(path, kHeader);
+  EXPECT_THROW(j.append("FAIL!sneaky", {"1", "2", "3"}), SimError);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, AppendMutatorCorruptionIsDetectedOnLoad) {
+  const std::string path = tmp_path("musa_journal_mutator.journal");
+  std::remove(path.c_str());
+  {
+    ResultJournal j(path, kHeader);
+    j.set_append_mutator([](const std::string& key, const std::string& line) {
+      if (key != "victim") return line;
+      std::string out = line;
+      out[out.size() - 2] = out[out.size() - 2] == '0' ? '1' : '0';
+      return out;
+    });
+    j.append("victim", {"1", "2", "3"});
+    j.append("witness", {"4", "5", "6"});
+    // The mutated record is treated as lost work, exactly like a crash.
+    EXPECT_FALSE(j.contains("victim"));
+    EXPECT_TRUE(j.contains("witness"));
+  }
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(lr.dropped, 1u);  // checksum caught the damage
+  EXPECT_EQ(lr.entries.count("victim"), 0u);
+  EXPECT_EQ(lr.entries.count("witness"), 1u);
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace musa

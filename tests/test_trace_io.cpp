@@ -159,5 +159,116 @@ TEST(TraceIo, MissingFileThrows) {
   EXPECT_THROW(save_region(Region{}, "/nonexistent/dir/x.trc"), SimError);
 }
 
+// ---- Corruption matrix ----------------------------------------------------
+// Hardened loaders must reject *every* damaged variant of a valid file —
+// not just the easy cases — and always with SimError class `io`, never a
+// silent misparse, hang, or non-SimError crash.
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+TEST(TraceIo, EveryTruncationOfARegionIsRejected) {
+  const Region original = apps::make_region(apps::find_app("btmz"));
+  const std::string path = temp_path("musa_region_trunc.trc");
+  FileGuard guard{path};
+  save_region(original, path);
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 8u);
+
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    spit(path, bytes.substr(0, len));
+    EXPECT_THROW(load_region(path), SimError) << "prefix length " << len;
+  }
+  // The untouched file still round-trips: the matrix did not overfit.
+  spit(path, bytes);
+  EXPECT_EQ(load_region(path).tasks.size(), original.tasks.size());
+}
+
+TEST(TraceIo, TruncatedBurstTracesAreRejected) {
+  const AppTrace original =
+      apps::make_burst_trace(apps::find_app("hydro"), 2);
+  const std::string path = temp_path("musa_burst_trunc.trc");
+  FileGuard guard{path};
+  save_app_trace(original, path);
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 8u);
+
+  // Burst traces are bigger; walk the prefix lattice with a stride plus
+  // every boundary in the header and the final record.
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 32 || len + 32 >= bytes.size()) ? 1 : 7) {
+    spit(path, bytes.substr(0, len));
+    EXPECT_THROW(load_app_trace(path), SimError) << "prefix length " << len;
+  }
+  spit(path, bytes);
+  EXPECT_EQ(load_app_trace(path).ranks.size(), original.ranks.size());
+}
+
+TEST(TraceIo, HeaderByteFlipsAreRejected) {
+  const std::string path = temp_path("musa_burst_flip.trc");
+  FileGuard guard{path};
+  save_app_trace(apps::make_burst_trace(apps::find_app("hydro"), 2), path);
+  const std::string bytes = slurp(path);
+  ASSERT_GE(bytes.size(), 8u);
+
+  // Magic (bytes 0-3) and version (bytes 4-7): any single-bit damage in
+  // the header must be fatal, for every bit of every byte.
+  for (std::size_t i = 0; i < 8; ++i)
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string damaged = bytes;
+      damaged[i] = static_cast<char>(damaged[i] ^ (1 << bit));
+      spit(path, damaged);
+      EXPECT_THROW(load_app_trace(path), SimError)
+          << "byte " << i << " bit " << bit;
+    }
+}
+
+TEST(TraceIo, TrailingGarbageIsRejected) {
+  // A shrunk length field leaves declared-contents < file size; the loader
+  // must notice the leftover bytes instead of silently ignoring them.
+  const std::string burst = temp_path("musa_burst_trail.trc");
+  const std::string region = temp_path("musa_region_trail.trc");
+  FileGuard g1{burst}, g2{region};
+  save_app_trace(apps::make_burst_trace(apps::find_app("hydro"), 2), burst);
+  save_region(apps::make_region(apps::find_app("btmz")), region);
+
+  for (const std::string& path : {burst, region})
+    spit(path, slurp(path) + "junk");
+  EXPECT_THROW(load_app_trace(burst), SimError);
+  EXPECT_THROW(load_region(region), SimError);
+}
+
+TEST(TraceIo, CorruptionErrorsCarryIoClassAndContext) {
+  const std::string path = temp_path("musa_burst_ctx.trc");
+  FileGuard guard{path};
+  save_app_trace(apps::make_burst_trace(apps::find_app("hydro"), 2), path);
+  const std::string bytes = slurp(path);
+  spit(path, bytes.substr(0, bytes.size() / 2));
+
+  try {
+    load_app_trace(path);
+    FAIL() << "truncated trace loaded";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::kIo);
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos)
+        << "error does not name the file: " << what;
+    EXPECT_NE(what.find("byte offset"), std::string::npos)
+        << "error does not locate the damage: " << what;
+  }
+}
+
 }  // namespace
 }  // namespace musa::trace

@@ -11,7 +11,9 @@ Journal format (see src/common/journal.cpp):
   <header cells, comma-separated>
   <key> \t <cells, comma-separated> \t <fnv1a64 hex of "key\tcells">
 
-where <key> is "app|config-id".
+where <key> is "app|config-id". A key prefixed "FAIL!" is a quarantine
+record: its four cells are {error class, stage, attempts, message}, and a
+good row for the same key (in any journal) supersedes it.
 
 Usage:
   tools/journal_status.py [cache.csv]     # default: dse_cache.csv
@@ -22,6 +24,7 @@ import os
 import sys
 
 FULL_PLAN = 864 * 5  # Table I grid x five applications
+FAIL_PREFIX = "FAIL!"  # reserved quarantine-record key prefix
 
 
 def fnv1a64(data: bytes) -> int:
@@ -33,12 +36,12 @@ def fnv1a64(data: bytes) -> int:
 
 
 def read_journal(path):
-    """Return (header, {key: cells}, dropped_count)."""
-    entries, dropped = {}, 0
+    """Return (header, {key: cells}, {key: fail_cells}, dropped_count)."""
+    entries, fails, dropped = {}, {}, 0
     with open(path, "rb") as f:
         lines = f.read().split(b"\n")
     if len(lines) < 2 or lines[0] != b"musa-journal v1":
-        return None, entries, 0
+        return None, entries, fails, 0
     header = lines[1].decode(errors="replace").split(",")
     for line in lines[2:]:
         if not line:
@@ -51,8 +54,19 @@ def read_journal(path):
         if format(fnv1a64(key + b"\t" + cells), "016x").encode() != checksum:
             dropped += 1
             continue
-        entries[key.decode()] = cells.decode().split(",")
-    return header, entries, dropped
+        key = key.decode()
+        cells = cells.decode().split(",")
+        if key.startswith(FAIL_PREFIX):
+            if len(cells) != 4:  # {class, stage, attempts, message}
+                dropped += 1
+                continue
+            fails[key[len(FAIL_PREFIX):]] = cells
+        else:
+            entries[key] = cells
+    # Good beats FAIL within one journal (order-independent resolution).
+    for key in entries:
+        fails.pop(key, None)
+    return header, entries, fails, dropped
 
 
 def cache_row_count(path):
@@ -82,16 +96,23 @@ def main():
     else:
         print(f"{cache}: absent")
 
-    union = {}
+    union, fail_union = {}, {}
     for path in journals:
-        header, entries, dropped = read_journal(path)
+        header, entries, fails, dropped = read_journal(path)
         if header is None:
             print(f"{path}: not a musa journal")
             continue
         note = (f", {dropped} corrupt/truncated record(s) dropped"
                 if dropped else "")
-        print(f"{path}: {len(entries)} point(s){note}")
+        qnote = f", {len(fails)} quarantined" if fails else ""
+        print(f"{path}: {len(entries)} point(s){note}{qnote}")
         union.update(entries)
+        fail_union.update(fails)
+
+    # Good beats FAIL across journals too: a point one shard quarantined
+    # but a sibling completed is not quarantined.
+    for key in union:
+        fail_union.pop(key, None)
 
     if journals:
         per_app = collections.Counter(k.split("|", 1)[0] for k in union)
@@ -100,6 +121,17 @@ def main():
               f" ({100.0 * total / FULL_PLAN:.1f}%)")
         for app in sorted(per_app):
             print(f"  {app:8s} {per_app[app]}")
+        if fail_union:
+            print(f"\nquarantined: {len(fail_union)} point(s)"
+                  " (rerun run_dse --retry-failed to recompute)")
+            by_class = collections.Counter(
+                cells[0] for cells in fail_union.values())
+            for cls in sorted(by_class):
+                print(f"  class {cls:9s} {by_class[cls]}")
+            for key in sorted(fail_union):
+                cls, stage, attempts, message = fail_union[key]
+                print(f"  {key}: class={cls} stage={stage or 'unknown'}"
+                      f" attempts={attempts} {message}")
     else:
         print("no journals found; nothing in flight")
 
