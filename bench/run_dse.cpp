@@ -16,9 +16,19 @@
 // exactly the quarantined points; `--timeout` arms a per-point watchdog;
 // `--inject` (or MUSA_FAULT) arms the deterministic fault harness.
 //
+// Tracing (DESIGN.md §7e): `--trace-out sweep.json` (or MUSA_TRACE=path)
+// arms the span tracer and exports a Chrome trace_event JSON loadable in
+// Perfetto / chrome://tracing. A shard that does not finalize the sweep
+// writes a `<trace>.shard-i-of-N.events.jsonl` sidecar instead; the run
+// that finalizes splices every sidecar plus its own events into the single
+// merged `<trace>` JSON and removes the sidecars. `--metrics-out path`
+// (default `<cache>.metrics.json` when tracing) writes the flat metric
+// snapshot, and a one-screen summary table prints at exit.
+//
 // Usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]
 //                [--bench] [--strict] [--retry-failed] [--timeout S]
-//                [--inject SPEC]
+//                [--inject SPEC] [--trace-out PATH] [--metrics-out PATH]
+//                [--help]
 //   --force        discard the cache and all journals, then sweep fresh
 //   --shard i/N    compute only points with index % N == i (0 <= i < N)
 //   --no-verify    skip config lint and result-invariant enforcement
@@ -40,19 +50,58 @@
 //   --inject SPEC  arm fault injection, SPEC = site:kind:seed:prob[:param]
 //                  [,spec...] (see src/verify/faultpoint.hpp); overrides
 //                  the MUSA_FAULT environment variable
+//   --trace-out P  arm span tracing; write the Chrome trace (or, for a
+//                  non-finalizing shard, its JSONL sidecar) to P. The
+//                  MUSA_TRACE environment variable supplies a default path
+//   --metrics-out P  write the flat metric snapshot JSON to P (defaults to
+//                  `<cache>.metrics.json` whenever tracing is armed)
+//   --help         print this usage text and exit 0
 //
 // Exit codes: 0 success, 1 strict-mode abort, 2 bad usage, 3 sweep
 // completed with quarantined points.
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/check.hpp"
+#include "common/csv.hpp"
 #include "common/progress.hpp"
 #include "fig_common.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "verify/faultpoint.hpp"
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]\n"
+    "               [--bench] [--strict] [--retry-failed] [--timeout S]\n"
+    "               [--inject SPEC] [--trace-out PATH] [--metrics-out PATH]\n"
+    "               [--help]\n"
+    "  --force         discard the cache and all journals, sweep fresh\n"
+    "  --shard i/N     compute only points with index %% N == i\n"
+    "  --no-verify     skip config lint and result-invariant enforcement\n"
+    "  --no-memo       disable the shared cross-point stage memo\n"
+    "  --bench         sweep the fixed 24-point bench space\n"
+    "  --strict        fail fast: first failing point aborts (exit 1)\n"
+    "  --retry-failed  re-run points quarantined by a previous run\n"
+    "  --timeout S     per-point wall-clock budget in seconds\n"
+    "  --inject SPEC   arm fault injection (site:kind:seed:prob[:param],...);\n"
+    "                  overrides MUSA_FAULT\n"
+    "  --trace-out P   arm span tracing; write the Chrome trace_event JSON\n"
+    "                  (Perfetto-loadable) to P. A shard that does not\n"
+    "                  finalize the sweep writes P.shard-i-of-N.events.jsonl\n"
+    "                  instead; the finalizing run merges every sidecar into\n"
+    "                  the single P. MUSA_TRACE=path supplies a default\n"
+    "  --metrics-out P write the flat metric snapshot JSON to P (defaults\n"
+    "                  to <cache>.metrics.json whenever tracing is armed)\n"
+    "  --help          print this text and exit 0\n"
+    "exit codes: 0 success, 1 strict-mode abort, 2 bad usage, 3 sweep\n"
+    "completed with quarantined points\n";
 
 bool parse_shard(const char* spec, musa::core::SweepOptions* opts) {
   int i = 0, n = 0;
@@ -82,6 +131,11 @@ void print_report(const musa::core::SweepReport& rep) {
   if (rep.retries > 0)
     std::printf("  retried %llu transient io-class failure(s)\n",
                 static_cast<unsigned long long>(rep.retries));
+  if (rep.workers > 0 && rep.wall_s > 0.0 && rep.computed > 0)
+    std::printf("  compute phase: %d worker(s), %s wall, occupancy %.1f%%\n",
+                rep.workers, musa::format_duration(rep.wall_s).c_str(),
+                100.0 * rep.stages.total_s() /
+                    (rep.wall_s * static_cast<double>(rep.workers)));
   const musa::core::StageTimes& st = rep.stages;
   if (st.points > 0) {
     std::printf("stage breakdown over %llu simulated points "
@@ -131,6 +185,67 @@ void print_quarantine(const musa::core::SweepReport& rep) {
               "--retry-failed to recompute exactly these points\n");
 }
 
+/// Export pass run after every sweep, successful or quarantined. A run that
+/// did not finalize the sweep (an in-flight shard, or quarantines holding
+/// the cache back) parks its events in a JSONL sidecar; the finalizing run
+/// splices every sidecar plus its own events into the single merged Chrome
+/// trace and removes the sidecars. Export failures are reported, never
+/// fatal — observability must not turn a finished sweep into an error.
+void export_observability(const std::string& trace_out,
+                          const std::string& metrics_path,
+                          const musa::core::SweepReport& rep,
+                          const musa::core::SweepOptions& opts) {
+  using namespace musa;
+  try {
+    if (!trace_out.empty()) {
+      const std::vector<obs::TraceEvent> events = obs::Tracer::drain();
+      if (obs::Tracer::dropped() > 0)
+        std::fprintf(stderr,
+                     "[obs] trace ring wrapped: %llu oldest event(s) lost\n",
+                     static_cast<unsigned long long>(obs::Tracer::dropped()));
+      obs::TraceMeta meta;
+      meta.pid = opts.shard_index;
+      meta.process_name =
+          opts.shard_count > 1
+              ? "run_dse shard " + std::to_string(opts.shard_index) + "/" +
+                    std::to_string(opts.shard_count)
+              : "run_dse";
+      const std::vector<std::string> sidecars =
+          obs::find_trace_sidecars(trace_out);
+      if (!rep.finalized) {
+        const std::string sidecar = obs::trace_sidecar_path(
+            trace_out, opts.shard_index, opts.shard_count);
+        obs::write_trace_jsonl(sidecar, events, obs::Tracer::epoch_unix_us(),
+                               meta);
+        std::printf("trace sidecar written: %s (%zu event(s); merges into "
+                    "%s when the sweep finalizes)\n",
+                    sidecar.c_str(), events.size(), trace_out.c_str());
+      } else if (events.empty() && sidecars.empty() &&
+                 CsvDoc::file_exists(trace_out)) {
+        // A pure cache-hit rerun after the trace was already merged: leave
+        // the merged timeline alone instead of overwriting it with nothing.
+        std::printf("trace already merged: %s (left untouched)\n",
+                    trace_out.c_str());
+      } else {
+        obs::write_chrome_trace(trace_out, events,
+                                obs::Tracer::epoch_unix_us(), meta, sidecars);
+        for (const auto& p : sidecars) std::remove(p.c_str());
+        std::printf("trace written: %s (%zu local event(s), %zu sidecar(s) "
+                    "merged; load in Perfetto or chrome://tracing)\n",
+                    trace_out.c_str(), events.size(), sidecars.size());
+      }
+    }
+    if (!metrics_path.empty()) {
+      const obs::MetricsSnapshot snap = obs::MetricRegistry::global().snapshot();
+      obs::write_metrics_json(metrics_path, snap);
+      std::printf("metrics written: %s\n", metrics_path.c_str());
+      std::printf("%s", obs::summary_table(snap).c_str());
+    }
+  } catch (const musa::SimError& e) {
+    std::fprintf(stderr, "[obs] export failed: %s\n", e.what());
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -138,10 +253,19 @@ int main(int argc, char** argv) {
   bool force = false;
   bool bench_sweep = false;
   const char* inject_spec = nullptr;
+  std::string trace_out;
+  std::string metrics_out;
   core::SweepOptions opts;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--force") == 0) {
       force = true;
+    } else if (std::strcmp(argv[a], "--help") == 0) {
+      std::printf("%s", kUsage);
+      return 0;
+    } else if (std::strcmp(argv[a], "--trace-out") == 0 && a + 1 < argc) {
+      trace_out = argv[++a];
+    } else if (std::strcmp(argv[a], "--metrics-out") == 0 && a + 1 < argc) {
+      metrics_out = argv[++a];
     } else if (std::strcmp(argv[a], "--no-verify") == 0) {
       opts.verify = false;
     } else if (std::strcmp(argv[a], "--no-memo") == 0) {
@@ -166,13 +290,17 @@ int main(int argc, char** argv) {
         return 2;
       }
     } else {
-      std::fprintf(stderr,
-                   "usage: run_dse [--force] [--shard i/N] [--no-verify] "
-                   "[--no-memo] [--bench] [--strict] [--retry-failed] "
-                   "[--timeout S] [--inject SPEC]\n");
+      std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
   }
+
+  // MUSA_TRACE supplies a default trace path when --trace-out is absent —
+  // the env route exists so wrappers (CI, sweep_bench) can arm tracing
+  // without plumbing a flag through.
+  if (trace_out.empty())
+    if (const char* env = std::getenv("MUSA_TRACE"))
+      trace_out = env;
 
   try {
     verify::FaultPlan plan = inject_spec != nullptr
@@ -209,6 +337,15 @@ int main(int argc, char** argv) {
     std::printf("shard %d of %d\n", opts.shard_index, opts.shard_count);
   if (opts.point_timeout_s > 0.0)
     std::printf("per-point watchdog: %.3gs\n", opts.point_timeout_s);
+  if (!trace_out.empty()) {
+    obs::Tracer::install();
+    if (metrics_out.empty()) {
+      const std::string& cache = bench::dse_cache_path();
+      metrics_out = (cache.empty() ? trace_out : cache) + ".metrics.json";
+    }
+    std::printf("tracing ARMED: spans -> %s, metrics -> %s\n",
+                trace_out.c_str(), metrics_out.c_str());
+  }
   if (!opts.verify)
     std::printf("verification DISABLED (--no-verify): configs and results "
                 "will not be checked; lint the cache with dse_lint later\n");
@@ -223,6 +360,9 @@ int main(int argc, char** argv) {
   }
   print_report(rep);
   print_quarantine(rep);
+  // Export before any early exit: quarantined and shard-partial runs are
+  // exactly the ones whose timelines are worth inspecting.
+  export_observability(trace_out, metrics_out, rep, opts);
   if (rep.quarantined > 0) return 3;
   if (!rep.finalized) {
     std::printf("shard journal written; rerun (any shard spec, or none) "

@@ -8,9 +8,12 @@
 // the trace-generation, burst, stream, and warm-up work, so the memoized
 // sweep should pay the measured detailed run per point and little else.
 //
-// The bench runs the sweep twice (memo off, then on), checks the two result
-// sets are byte-identical (the memo's core contract), and reports wall
-// time, points/s, the per-stage breakdown, and the memo hit rates.
+// The bench runs the sweep three times — memo off, memo on, memo on with
+// the span tracer armed — checks the result sets are byte-identical (the
+// memo's core contract; tracing must never perturb results either), and
+// reports wall time, points/s, the per-stage and worker-occupancy
+// breakdown, the memo hit rates, and the tracing overhead ratio (the
+// DESIGN.md §7e budget: armed tracing within ~2% of untraced).
 //
 // Usage: sweep_bench [output.json]   (default BENCH_sweep.json)
 #include <chrono>
@@ -20,6 +23,7 @@
 
 #include "core/dse.hpp"
 #include "fig_common.hpp"
+#include "obs/span.hpp"
 
 namespace {
 
@@ -42,7 +46,7 @@ struct Run {
 /// reported — the standard way to keep scheduler noise out of the ratio.
 constexpr int kReps = 3;
 
-Run run_sweep(bool memoize) {
+Run run_sweep(bool memoize, bool trace = false) {
   SweepOptions opts;
   opts.verbose = false;
   opts.memoize = memoize;
@@ -51,6 +55,7 @@ Run run_sweep(bool memoize) {
 
   Run r;
   for (int rep = 0; rep < kReps; ++rep) {
+    if (trace) musa::obs::Tracer::install();  // re-install clears the ring
     Pipeline pipeline;
     // No cache path: pure compute, no journal fsyncs in the timing.
     DseEngine dse(pipeline, "", opts);
@@ -85,14 +90,25 @@ void json_stages(std::FILE* f, const StageTimes& st) {
 void json_run(std::FILE* f, const char* name, const Run& r) {
   const double pps =
       r.wall_s > 0 ? static_cast<double>(r.report.computed) / r.wall_s : 0.0;
+  // Worker occupancy: stage compute time over workers × compute-phase wall.
+  // The gap is queue idle + journal/merge time — the tail the trace view
+  // makes visible per worker.
+  const double occupancy =
+      r.report.workers > 0 && r.report.wall_s > 0.0
+          ? r.report.stages.total_s() /
+                (r.report.wall_s * static_cast<double>(r.report.workers))
+          : 0.0;
   std::fprintf(f,
                "  \"%s\": {\n"
                "    \"wall_s\": %.4f,\n"
                "    \"points\": %llu,\n"
                "    \"points_per_s\": %.3f,\n"
+               "    \"workers\": %d,\n"
+               "    \"occupancy\": %.4f,\n"
                "    \"stages\": ",
                name, r.wall_s,
-               static_cast<unsigned long long>(r.report.computed), pps);
+               static_cast<unsigned long long>(r.report.computed), pps,
+               r.report.workers, occupancy);
   json_stages(f, r.report.stages);
   const MemoStats& m = r.report.memo;
   std::fprintf(
@@ -122,16 +138,27 @@ int main(int argc, char** argv) {
   const Run memo = run_sweep(/*memoize=*/true);
   std::printf("  memo:    %6.2fs  (%.2f points/s)\n", memo.wall_s,
               memo.report.computed / memo.wall_s);
+  const Run traced = run_sweep(/*memoize=*/true, /*trace=*/true);
+  const std::size_t trace_events = musa::obs::Tracer::drain().size();
+  musa::obs::Tracer::shutdown();
+  std::printf("  traced:  %6.2fs  (%.2f points/s, %zu events)\n",
+              traced.wall_s, traced.report.computed / traced.wall_s,
+              trace_events);
 
   // The memo is only a win if it is *free* in results: identical bytes.
-  if (plain.rows != memo.rows) {
+  // The tracer must be invisible in results too — it only observes.
+  if (plain.rows != memo.rows || memo.rows != traced.rows) {
     std::fprintf(stderr,
-                 "FAIL: memoized sweep results differ from non-memoized — "
-                 "memo staleness bug\n");
+                 "FAIL: sweep results differ across memo/tracing modes — "
+                 "staleness or observer-effect bug\n");
     return 1;
   }
   const double speedup = memo.wall_s > 0 ? plain.wall_s / memo.wall_s : 0.0;
-  std::printf("  results byte-identical; speedup %.2fx\n", speedup);
+  const double trace_overhead =
+      memo.wall_s > 0 ? traced.wall_s / memo.wall_s : 0.0;
+  std::printf("  results byte-identical; speedup %.2fx, "
+              "tracing overhead %.3fx\n",
+              speedup, trace_overhead);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -142,8 +169,12 @@ int main(int argc, char** argv) {
   json_run(f, "no_memo", plain);
   std::fprintf(f, ",\n");
   json_run(f, "memo", memo);
-  std::fprintf(f, ",\n  \"speedup\": %.3f,\n  \"identical\": true\n}\n",
-               speedup);
+  std::fprintf(f, ",\n");
+  json_run(f, "traced", traced);
+  std::fprintf(f,
+               ",\n  \"speedup\": %.3f,\n  \"trace_overhead\": %.4f,\n"
+               "  \"trace_events\": %zu,\n  \"identical\": true\n}\n",
+               speedup, trace_overhead, trace_events);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;

@@ -1,6 +1,7 @@
 #include "common/journal.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,10 +11,36 @@
 
 #include "common/check.hpp"
 #include "common/fsio.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace musa {
 
 namespace {
+
+obs::Counter& append_count() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("journal.append.count");
+  return c;
+}
+
+obs::Counter& fail_row_count() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("journal.append.fail_rows");
+  return c;
+}
+
+obs::Counter& dropped_records() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("journal.dropped_records");
+  return c;
+}
+
+obs::Histogram& append_us() {
+  static obs::Histogram& h =
+      obs::MetricRegistry::global().histogram("journal.append.us");
+  return h;
+}
 
 constexpr const char* kMagic = "musa-journal v1";
 /// Reserved key prefix marking a quarantine (FAIL) record; its payload is
@@ -173,6 +200,7 @@ ResultJournal::ResultJournal(std::string path, std::vector<std::string> header)
   entries_ = std::move(loaded.entries);
   fails_ = std::move(loaded.fails);
   dropped_ = loaded.dropped;
+  if (dropped_ > 0) dropped_records().add(dropped_);
 
   // Compact: rewrite only the valid records so a corrupt tail from a crash
   // (or a stale-schema file) cannot collide with the next append. Surviving
@@ -199,6 +227,8 @@ void ResultJournal::append(const std::string& key,
   MUSA_CHECK_MSG(!has_fail_prefix(key),
                  "journal key collides with the FAIL prefix: " + key);
   const std::string line = record_line(key, row);
+  obs::Span span("journal.append", key);
+  const auto t0 = std::chrono::steady_clock::now();
   std::lock_guard<std::mutex> lock(mu_);
   MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
   if (mutator_) {
@@ -212,6 +242,11 @@ void ResultJournal::append(const std::string& key,
     }
   }
   out_->append(line);
+  append_count().add();
+  append_us().observe(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count()));
   entries_[key] = row;
   fails_.erase(key);
 }
@@ -225,9 +260,12 @@ void ResultJournal::append_fail(const std::string& key,
   clean.attempts = fail.attempts;
   clean.message = sanitize_message(fail.message);
   const std::string line = record_line(kFailPrefix + key, fail_cells(clean));
+  obs::Span span("journal.append_fail", key);
+  span.set_outcome(obs::Outcome::kFail);
   std::lock_guard<std::mutex> lock(mu_);
   MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
   out_->append(line);
+  fail_row_count().add();
   // Good beats FAIL: a quarantine row never shadows a completed result.
   if (entries_.count(key) == 0) fails_[key] = std::move(clean);
 }

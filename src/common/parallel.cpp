@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace musa {
 
@@ -17,6 +18,12 @@ namespace {
 /// Upper clamp for MUSA_THREADS: far above any real machine, low enough
 /// that a unit typo (e.g. "100000") cannot oversubscribe into an OOM.
 constexpr long kMaxThreads = 1024;
+
+obs::Counter& chunk_claims() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("queue.chunks");
+  return c;
+}
 }  // namespace
 
 int default_thread_count() {
@@ -82,6 +89,7 @@ bool WorkQueue::next(std::uint64_t& begin, std::uint64_t& end) {
   if (b >= n_) return false;
   begin = b;
   end = std::min(n_, b + chunk_);
+  chunk_claims().add();
   return true;
 }
 

@@ -38,30 +38,59 @@ std::string ProgressReporter::line(std::uint64_t done,
              : 100.0;
   const double rate =
       elapsed_s > 0.0 ? static_cast<double>(done) / elapsed_s : 0.0;
-  const double eta_s =
-      (rate > 0.0 && done < total_)
-          ? static_cast<double>(total_ - done) / rate
-          : 0.0;
+  // ETA policy: a positive rate with work remaining gives an estimate;
+  // nothing remaining gives "-"; a zero rate (startup, stall) is *unknown*
+  // — the old code rendered both cases as a confident "ETA 0s".
+  std::string eta;
+  if (done >= total_)
+    eta = "-";
+  else if (rate > 0.0)
+    eta = format_duration(static_cast<double>(total_ - done) / rate);
+  else
+    eta = "?";
   char buf[192];
   std::snprintf(buf, sizeof buf,
                 "%s: %llu/%llu (%.1f%%) | %.2f/s | elapsed %s | ETA %s",
                 label_.c_str(), static_cast<unsigned long long>(done),
                 static_cast<unsigned long long>(total_), pct, rate,
-                format_duration(elapsed_s).c_str(),
-                format_duration(eta_s).c_str());
+                format_duration(elapsed_s).c_str(), eta.c_str());
   return buf;
 }
 
-void ProgressReporter::tick(std::uint64_t count) {
+void ProgressReporter::print(const std::string& text) {
+  if (sink_) {
+    sink_(text);
+    return;
+  }
+  std::fprintf(stderr, "  %s\n", text.c_str());
+}
+
+void ProgressReporter::tick_at(std::uint64_t count, double elapsed_s) {
   const std::uint64_t done = done_.fetch_add(count) + count;
   if (!enabled_) return;
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
   std::lock_guard<std::mutex> lock(print_mu_);
-  if (done < total_ && elapsed - last_print_s_ < min_interval_s_) return;
-  last_print_s_ = elapsed;
-  std::fprintf(stderr, "  %s\n", line(done, elapsed).c_str());
+  if (done >= total_) {
+    // The 100% line always prints — the rate limiter must not eat the
+    // sweep's final status — but exactly once, even when several workers
+    // finish together or a stray tick lands after the total.
+    if (final_printed_) return;
+    final_printed_ = true;
+  } else if (elapsed_s - last_print_s_ < min_interval_s_) {
+    return;
+  }
+  last_print_s_ = elapsed_s;
+  print(line(done, elapsed_s));
+}
+
+void ProgressReporter::tick(std::uint64_t count) {
+  const bool needs_clock = enabled_;
+  const double elapsed =
+      needs_clock
+          ? std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count()
+          : 0.0;
+  tick_at(count, elapsed);
 }
 
 }  // namespace musa

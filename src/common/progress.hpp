@@ -4,11 +4,19 @@
 // by wall time instead of item count, so the cadence is right whether a
 // point takes milliseconds or minutes, and each line carries throughput and
 // a remaining-time estimate computed from the measured rate.
+//
+// ETA semantics (locked in by TestProgress): a measurable positive rate
+// yields a duration; a zero rate with work remaining yields "?" (unknown —
+// never the old, misleading "ETA 0s"); done >= total yields "-" (nothing
+// remains to estimate). The 100% line prints exactly once, even when the
+// finishing tick lands inside the rate-limit window or several threads race
+// past the total together.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -22,7 +30,8 @@ class ProgressReporter {
  public:
   /// `label` prefixes every line; `total` is the item count; updates print
   /// to stderr at most every `min_interval_s` seconds (the final item always
-  /// prints). `enabled` = false silences output entirely (tests, workers).
+  /// prints, exactly once). `enabled` = false silences output entirely
+  /// (tests, workers).
   ProgressReporter(std::string label, std::uint64_t total,
                    double min_interval_s = 2.0, bool enabled = true);
 
@@ -30,21 +39,36 @@ class ProgressReporter {
   /// Thread-safe.
   void tick(std::uint64_t count = 1);
 
+  /// Deterministic core of tick(): same counting/printing policy, but with
+  /// the elapsed time supplied by the caller — the fake clock the tests
+  /// drive. tick() delegates here with the real elapsed time.
+  void tick_at(std::uint64_t count, double elapsed_s);
+
   std::uint64_t done() const { return done_.load(); }
 
   /// Formats the status line for `done` items after `elapsed_s` seconds —
   /// exposed (and deterministic) for tests.
   std::string line(std::uint64_t done, double elapsed_s) const;
 
+  /// Redirects printed lines away from stderr (tests). Not thread-safe:
+  /// install before the first tick.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
  private:
+  void print(const std::string& text);
+
   std::string label_;
   std::uint64_t total_;
   double min_interval_s_;
   bool enabled_;
   std::chrono::steady_clock::time_point start_;
   std::atomic<std::uint64_t> done_{0};
+  std::function<void(const std::string&)> sink_;
   std::mutex print_mu_;
   double last_print_s_ = -1e30;
+  bool final_printed_ = false;
 };
 
 }  // namespace musa

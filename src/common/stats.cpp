@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
+
 namespace musa {
 
 void RunningStats::add(double x) {
@@ -40,11 +42,33 @@ void RunningStats::merge(const RunningStats& other) {
   n_ += other.n_;
 }
 
-double geomean(const std::vector<double>& xs) {
-  if (xs.empty()) return 0.0;
+double geomean(const std::vector<double>& xs, std::size_t* skipped) {
+  if (skipped) *skipped = 0;
   double log_sum = 0.0;
-  for (double x : xs) log_sum += std::log(x);
-  return std::exp(log_sum / static_cast<double>(xs.size()));
+  std::size_t n = 0;
+  for (double x : xs) {
+    // log() of a non-positive (or NaN) sample is -inf/NaN and used to leak
+    // straight into the mean; such samples carry no geometric information,
+    // so they are skipped and counted instead.
+    if (!(x > 0.0)) {
+      if (skipped) ++*skipped;
+      continue;
+    }
+    log_sum += std::log(x);
+    ++n;
+  }
+  if (n == 0) return 0.0;
+  return std::exp(log_sum / static_cast<double>(n));
+}
+
+double geomean_strict(const std::vector<double>& xs) {
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    if (!(xs[i] > 0.0))
+      throw SimError("geomean_strict: sample " + std::to_string(i) + " is " +
+                         std::to_string(xs[i]) +
+                         " (every sample must be positive)",
+                     ErrorClass::kConfig);
+  return geomean(xs);
 }
 
 double mean(const std::vector<double>& xs) {

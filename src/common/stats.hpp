@@ -1,12 +1,21 @@
 // Streaming statistics used throughout result aggregation.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace musa {
 
 /// Welford's online algorithm: numerically stable running mean/variance.
+///
+/// Spread convention (shared with the free stddev() below, and locked in by
+/// TestRunningStats): *sample* variance with the n-1 denominator, and 0.0
+/// for fewer than two samples — n == 0 and n == 1 both report zero spread
+/// rather than NaN, so aggregation code never has to special-case a
+/// single-sample accumulator. merge() preserves this exactly: merging any
+/// split of a sample set — including singletons — yields the same
+/// count/mean/variance/min/max as accumulating the whole set into one.
 class RunningStats {
  public:
   void add(double x);
@@ -30,13 +39,25 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Geometric mean of positive samples; returns 0 if empty.
-double geomean(const std::vector<double>& xs);
+/// Geometric mean of the *positive* entries of xs. Non-positive or NaN
+/// entries have no defined log and are skipped (counted into *skipped when
+/// provided) instead of silently poisoning the result with NaN/-inf — the
+/// bug this signature replaces. Returns 0 when no positive entry remains.
+/// Callers aggregating ratios that must all be positive (speedups,
+/// normalised energies) should prefer geomean_strict.
+double geomean(const std::vector<double>& xs,
+               std::size_t* skipped = nullptr);
+
+/// Throwing variant: any non-positive or NaN entry raises
+/// SimError{config} naming the offending index and value.
+double geomean_strict(const std::vector<double>& xs);
 
 /// Arithmetic mean; returns 0 if empty.
 double mean(const std::vector<double>& xs);
 
-/// Sample standard deviation; returns 0 for fewer than two samples.
+/// Sample standard deviation (n-1 denominator); 0 for fewer than two
+/// samples — the same convention as RunningStats::stddev, so the two are
+/// interchangeable at every n.
 double stddev(const std::vector<double>& xs);
 
 /// Parallel efficiency: speedup / ideal speedup.

@@ -16,6 +16,8 @@
 #include "common/parallel.hpp"
 #include "common/progress.hpp"
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "verify/config_rules.hpp"
 #include "verify/faultpoint.hpp"
 #include "verify/invariants.hpp"
@@ -29,6 +31,27 @@ std::string fmt(double v) {
   return buf;
 }
 double num(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
+
+obs::Counter& points_ok() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("sweep.points.ok");
+  return c;
+}
+obs::Counter& points_quarantined() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("sweep.points.quarantined");
+  return c;
+}
+obs::Counter& point_retries() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("sweep.retries");
+  return c;
+}
+obs::Counter& worker_busy_us() {
+  static obs::Counter& c =
+      obs::MetricRegistry::global().counter("sweep.worker.busy_us");
+  return c;
+}
 }  // namespace
 
 DseEngine::DseEngine(Pipeline& pipeline, std::string cache_path,
@@ -288,6 +311,11 @@ SweepReport DseEngine::sweep(bool force) {
                            ResultJournal* journal, WorkQueue& queue) {
     const std::string& key = plan.keys[idx];
     for (int attempt = 1;; ++attempt) {
+      // One trace span per *attempt*: retried points show as back-to-back
+      // spans with rising attempt numbers, each annotated with how the
+      // attempt ended.
+      obs::Span span("point", key);
+      span.set_attempt(attempt);
       try {
         deadline::set_stage("");
         deadline::Scope budget(options_.point_timeout_s);
@@ -306,9 +334,12 @@ SweepReport DseEngine::sweep(bool force) {
           results_[idx] = r;  // disjoint slots, race-free
         }
         succeeded.fetch_add(1, std::memory_order_relaxed);
+        span.set_outcome(obs::Outcome::kOk);
+        points_ok().add();
         return true;
       } catch (const SimError& e) {
         if (options_.fail_fast || journal == nullptr) {
+          span.set_outcome(obs::Outcome::kFail);
           queue.cancel();
           throw;
         }
@@ -318,6 +349,9 @@ SweepReport DseEngine::sweep(bool force) {
           // backoff doubles per attempt; deterministic classes never reach
           // here (same inputs, same failure).
           io_retries.fetch_add(1, std::memory_order_relaxed);
+          point_retries().add();
+          span.set_outcome(obs::Outcome::kRetry);
+          obs::instant("retry", key, obs::Outcome::kRetry);
           std::this_thread::sleep_for(std::chrono::duration<double>(
               options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
           continue;
@@ -329,6 +363,9 @@ SweepReport DseEngine::sweep(bool force) {
         fail.attempts = attempt;
         fail.message = e.what();
         journal->append_fail(key, fail);
+        span.set_outcome(obs::Outcome::kQuarantined);
+        obs::instant("quarantine", key, obs::Outcome::kQuarantined);
+        points_quarantined().add();
         if (options_.verbose)
           std::fprintf(stderr,
                        "[dse] quarantined %s after %d attempt(s): %s "
@@ -342,6 +379,7 @@ SweepReport DseEngine::sweep(bool force) {
         // contain it like a model-class failure so one point cannot kill
         // the sweep, unless the caller asked for fail-fast.
         if (options_.fail_fast || journal == nullptr) {
+          span.set_outcome(obs::Outcome::kFail);
           queue.cancel();
           throw;
         }
@@ -351,6 +389,9 @@ SweepReport DseEngine::sweep(bool force) {
         fail.attempts = attempt;
         fail.message = e.what();
         journal->append_fail(key, fail);
+        span.set_outcome(obs::Outcome::kQuarantined);
+        obs::instant("quarantine", key, obs::Outcome::kQuarantined);
+        points_quarantined().add();
         if (options_.verbose)
           std::fprintf(stderr, "[dse] quarantined %s: %s\n", key.c_str(),
                        e.what());
@@ -368,17 +409,33 @@ SweepReport DseEngine::sweep(bool force) {
     const int threads = static_cast<int>(std::min<std::uint64_t>(
         std::max(1, default_thread_count()), todo.size()));
     std::mutex merge_mu;
+    const auto wall_t0 = std::chrono::steady_clock::now();
     parallel_workers(threads, [&](int) {
       Pipeline local(pipeline_.options(), memo);
+      // Busy time = wall spent holding a claimed chunk; the gap to
+      // workers × wall is queue/steal idle time (the occupancy breakdown
+      // sweep_bench and trace_summary report).
+      std::uint64_t busy_us = 0;
       std::uint64_t begin = 0, end = 0;
-      while (queue.next(begin, end))
+      while (queue.next(begin, end)) {
+        const auto chunk_t0 = std::chrono::steady_clock::now();
         for (std::uint64_t t = begin; t < end; ++t) {
           run_one(local, todo[t], journal, queue);
           progress.tick();
         }
+        busy_us += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - chunk_t0)
+                .count());
+      }
+      worker_busy_us().add(busy_us);
       std::lock_guard<std::mutex> lock(merge_mu);
       rep.stages.merge(local.stage_times());
     });
+    rep.workers = threads;
+    rep.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - wall_t0)
+                     .count();
     rep.computed = succeeded.load();
     rep.retries = io_retries.load();
     if (memo) rep.memo = memo->stats();

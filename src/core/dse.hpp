@@ -148,6 +148,8 @@ struct SweepReport {
   std::uint64_t quarantined = 0;   // points with a FAIL row after this call
   std::uint64_t retries = 0;       // extra attempts spent on io-class errors
   bool finalized = false;          // cache CSV written (plan fully covered)
+  int workers = 0;                 // worker threads the compute phase used
+  double wall_s = 0.0;             // wall time of the compute phase
   StageTimes stages;               // per-stage wall time of computed points
   MemoStats memo;                  // shared-memo hit/miss counters
   std::vector<QuarantinePoint> quarantine;  // sorted by key

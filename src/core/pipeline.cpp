@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "common/deadline.hpp"
 #include "common/units.hpp"
+#include "obs/span.hpp"
 #include "cpusim/core_model.hpp"
 #include "powersim/power.hpp"
 #include "trace/kernel.hpp"
@@ -68,6 +69,23 @@ double lap_s(std::chrono::steady_clock::time_point& t0) {
   const double s = std::chrono::duration<double>(now - t0).count();
   t0 = now;
   return s;
+}
+
+/// Tracer-side twin of lap_s: emits one complete span for the stage that
+/// just ended (start `t0_us`, keyed by the point) and returns the timestamp
+/// the next stage starts from. No-op while tracing is disarmed.
+std::uint64_t trace_lap(const char* stage, const std::string& point,
+                        std::uint64_t t0_us) {
+  if (!obs::Tracer::enabled()) return 0;
+  const std::uint64_t now = obs::Tracer::now_us();
+  obs::TraceEvent ev;
+  ev.name = stage;
+  ev.ts_us = t0_us;
+  ev.dur_us = now - t0_us;
+  ev.outcome = obs::Outcome::kOk;
+  obs::set_event_key(ev, point);
+  obs::Tracer::emit(ev);
+  return now;
 }
 
 /// Node-makespan lumpiness: with few tasks per core, the per-rank region
@@ -331,6 +349,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   // (app, cores) — 3 distinct values per app across the whole sweep — so
   // with a memo attached the full pre-pass runs once per pair.
   auto stage_t0 = std::chrono::steady_clock::now();
+  std::uint64_t span_t0 = obs::Tracer::now_us();
   deadline::set_stage("burst");
   verify::fault_point("pipeline.burst", point);
   double burst_concurrency = 0.0;
@@ -346,6 +365,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
     burst_concurrency = burst_node.avg_concurrency;
   }
   stage_times_.burst_s += lap_s(stage_t0);
+  span_t0 = trace_lap("burst", point, span_t0);
   const double active_cores = std::clamp(
       burst_concurrency, 1.0, static_cast<double>(config.cores));
 
@@ -427,6 +447,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   activity.active_cores = concurrency_weighted / region_seconds;
   activity.total_cores = config.cores;
   stage_times_.kernel_s += lap_s(stage_t0);
+  span_t0 = trace_lap("kernel", point, span_t0);
 
   // --- Machine level: MPI replay ------------------------------------------
   deadline::set_stage("replay");
@@ -438,6 +459,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   const netsim::ReplayResult replay =
       net.replay(trace_of(app, config.ranks), ropts);
   stage_times_.replay_s += lap_s(stage_t0);
+  span_t0 = trace_lap("replay", point, span_t0);
 
   // --- Power ---------------------------------------------------------------
   deadline::set_stage("power");
@@ -477,6 +499,7 @@ SimResult Pipeline::run(const apps::AppModel& app,
   r.node_w = r.core_l1_w + r.l2_l3_w + r.dram_w;
   r.energy_j = r.dram_power_known ? r.node_w * r.wall_seconds : 0.0;
   stage_times_.power_s += lap_s(stage_t0);
+  trace_lap("power", point, span_t0);
   ++stage_times_.points;
   return r;
 }

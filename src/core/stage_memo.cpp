@@ -1,8 +1,23 @@
 #include "core/stage_memo.hpp"
 
 #include <cstring>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace musa::core {
+
+namespace {
+/// Create-or-get is a shared-lock map find — cheap next to the simulation
+/// work behind every memo lookup, so no per-table cache is kept here.
+obs::Counter& memo_counter(const char* table, const char* leaf) {
+  return obs::MetricRegistry::global().counter(std::string("memo.") + table +
+                                               '.' + leaf);
+}
+}  // namespace
+
+void memo_hit(const char* table) { memo_counter(table, "hits").add(); }
+void memo_miss(const char* table) { memo_counter(table, "misses").add(); }
 
 std::uint64_t fnv1a_bytes(const void* data, std::size_t n,
                           std::uint64_t seed) {

@@ -78,6 +78,14 @@ std::uint64_t hierarchy_fingerprint(const cachesim::HierarchyConfig& c);
 /// Exact numeric content of a core preset (label included).
 std::uint64_t core_fingerprint(const cpusim::CoreConfig& c);
 
+/// Mirror a table's hit/miss onto the global metric registry as
+/// "memo.<table>.hits" / "memo.<table>.misses". The per-instance atomic
+/// counters below stay the source of truth for stats() — tests assert
+/// per-memo deltas — the registry mirror is what sweeps export
+/// (metrics.json, summary table) without threading MemoStats around.
+void memo_hit(const char* table);
+void memo_miss(const char* table);
+
 /// Per-table hit/miss counts, snapshot for reporting. A "miss" is a compute;
 /// racing workers may both count a miss for one key (the loser's value is
 /// discarded), so hits + misses >= lookups is the only invariant.
@@ -143,7 +151,7 @@ class StageMemo {
   template <typename Fn>
   const trace::Region& region(const apps::AppModel& app, std::size_t phase,
                               Fn&& compute) {
-    return lookup(regions_mu_, regions_,
+    return lookup("region", regions_mu_, regions_,
                   MemoKey{app_fingerprint(app), phase}, region_hits_,
                   region_misses_, std::forward<Fn>(compute));
   }
@@ -151,7 +159,7 @@ class StageMemo {
   template <typename Fn>
   const trace::AppTrace& trace(const apps::AppModel& app, int ranks,
                                Fn&& compute) {
-    return lookup(traces_mu_, traces_,
+    return lookup("trace", traces_mu_, traces_,
                   MemoKey{app_fingerprint(app),
                           static_cast<std::uint64_t>(ranks)},
                   trace_hits_, trace_misses_, std::forward<Fn>(compute));
@@ -161,7 +169,7 @@ class StageMemo {
   template <typename Fn>
   double burst_concurrency(const apps::AppModel& app, int cores,
                            Fn&& compute) {
-    return lookup(burst_mu_, burst_,
+    return lookup("burst", burst_mu_, burst_,
                   MemoKey{app_fingerprint(app),
                           static_cast<std::uint64_t>(cores)},
                   burst_hits_, burst_misses_, std::forward<Fn>(compute));
@@ -170,7 +178,7 @@ class StageMemo {
   template <typename Fn>
   const KernelStreams& streams(const apps::AppModel& app, std::size_t phase,
                                Fn&& compute) {
-    return lookup(streams_mu_, streams_,
+    return lookup("stream", streams_mu_, streams_,
                   MemoKey{app_fingerprint(app), phase}, stream_hits_,
                   stream_misses_, std::forward<Fn>(compute));
   }
@@ -183,7 +191,7 @@ class StageMemo {
     std::uint64_t tag = core_fingerprint(core);
     tag = fnv1a_bytes(&phase, sizeof(phase), tag);
     tag = fnv1a_bytes(&vector_bits, sizeof(vector_bits), tag);
-    return lookup(perfect_mu_, perfect_,
+    return lookup("perfect", perfect_mu_, perfect_,
                   MemoKey{app_fingerprint(app), tag}, perfect_hits_,
                   perfect_misses_, std::forward<Fn>(compute));
   }
@@ -207,10 +215,12 @@ class StageMemo {
       auto it = warm_.find(key);
       if (it != warm_.end()) {
         warm_hits_.fetch_add(1, std::memory_order_relaxed);
+        memo_hit("warm");
         return &it->second;
       }
     }
     warm_misses_.fetch_add(1, std::memory_order_relaxed);
+    memo_miss("warm");
     return nullptr;
   }
 
@@ -221,18 +231,20 @@ class StageMemo {
 
  private:
   template <typename Map, typename Fn>
-  auto& lookup(std::shared_mutex& mu, Map& map, const MemoKey& key,
-               std::atomic<std::uint64_t>& hits,
+  auto& lookup(const char* table, std::shared_mutex& mu, Map& map,
+               const MemoKey& key, std::atomic<std::uint64_t>& hits,
                std::atomic<std::uint64_t>& misses, Fn&& compute) {
     {
       std::shared_lock lock(mu);
       auto it = map.find(key);
       if (it != map.end()) {
         hits.fetch_add(1, std::memory_order_relaxed);
+        memo_hit(table);
         return it->second;
       }
     }
     misses.fetch_add(1, std::memory_order_relaxed);
+    memo_miss(table);
     // Deterministic compute outside the lock: a racing loser discards a
     // bit-identical value, and callbacks that re-enter the memo (the burst
     // pre-pass builds regions/traces) cannot deadlock.

@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <mutex>
+
+#include "common/check.hpp"
+
+namespace musa::obs {
+
+std::uint32_t thread_id() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t Histogram::Snapshot::quantile_bound(double q) const {
+  if (count == 0) return 0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) return b == 0 ? 0 : (1ull << b) - 1;
+  }
+  return (1ull << (kBuckets - 1)) - 1;
+}
+
+MetricRegistry& MetricRegistry::global() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+MetricRegistry::Entry& MetricRegistry::entry(std::string_view name,
+                                             Kind kind) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = entries_.find(name);
+    if (it != entries_.end()) {
+      MUSA_CHECK_MSG(it->second.kind == kind,
+                     "metric registered twice with different kinds: " +
+                         std::string(name));
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = entries_.try_emplace(std::string(name));
+  if (inserted) {
+    it->second.kind = kind;
+    switch (kind) {
+      case Kind::kCounter:
+        it->second.counter = std::make_unique<Counter>();
+        break;
+      case Kind::kGauge:
+        it->second.gauge = std::make_unique<Gauge>();
+        break;
+      case Kind::kHistogram:
+        it->second.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  } else {
+    MUSA_CHECK_MSG(it->second.kind == kind,
+                   "metric registered twice with different kinds: " +
+                       std::string(name));
+  }
+  return it->second;
+}
+
+Counter& MetricRegistry::counter(std::string_view name) {
+  return *entry(name, Kind::kCounter).counter;
+}
+
+Gauge& MetricRegistry::gauge(std::string_view name) {
+  return *entry(name, Kind::kGauge).gauge;
+}
+
+Histogram& MetricRegistry::histogram(std::string_view name) {
+  return *entry(name, Kind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricRegistry::snapshot() const {
+  MetricsSnapshot out;
+  std::shared_lock lock(mu_);
+  for (const auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter:
+        out.counters.emplace_back(name, e.counter->value());
+        break;
+      case Kind::kGauge:
+        out.gauges.emplace_back(name, e.gauge->value());
+        break;
+      case Kind::kHistogram:
+        out.histograms.emplace_back(name, e.histogram->snapshot());
+        break;
+    }
+  }
+  return out;
+}
+
+void MetricRegistry::reset() {
+  std::unique_lock lock(mu_);
+  for (auto& [name, e] : entries_) {
+    switch (e.kind) {
+      case Kind::kCounter: e.counter->reset(); break;
+      case Kind::kGauge: e.gauge->reset(); break;
+      case Kind::kHistogram: e.histogram->reset(); break;
+    }
+  }
+}
+
+}  // namespace musa::obs

@@ -1,0 +1,195 @@
+// Lock-cheap metric registry: named counters, gauges and histograms shared
+// by every subsystem (DESIGN.md §7e "Observability").
+//
+// Counters and histograms are *striped*: each metric owns a small array of
+// cache-line-padded atomic cells, and a thread writes only the cell indexed
+// by its thread id — the same merge-on-snapshot discipline as the
+// StageMemo hit/miss counters, generalised. An add() is therefore one
+// relaxed fetch_add with no false sharing between workers; snapshot() sums
+// the stripes. The registry mutex is touched only on metric *creation*
+// (cold — call sites cache the returned reference in a function-local
+// static) and on snapshot.
+//
+// Naming scheme: lowercase dotted "subsystem.object.event", units as a
+// trailing component where they matter ("sweep.worker.busy_us"). Metrics
+// are process-global and monotone within a process; per-run deltas are the
+// caller's job (see MetricRegistry::reset for benches/tests).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace musa::obs {
+
+/// Small dense id for the calling thread, assigned on first use; stable for
+/// the thread's lifetime. Doubles as the trace `tid` and the stripe index
+/// (mod kStripes), so a worker always hits the same cell.
+std::uint32_t thread_id();
+
+/// Stripe count per metric: enough that a worker pool (clamped to 1024 but
+/// in practice core-count-sized) rarely shares a cell, small enough that a
+/// metric costs ~4 kB.
+constexpr std::uint32_t kStripes = 64;
+
+namespace detail {
+struct alignas(64) Cell {
+  std::atomic<std::uint64_t> v{0};
+};
+}  // namespace detail
+
+/// Monotone counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    cells_[thread_id() % kStripes].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& c : cells_) sum += c.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+  void reset() noexcept {
+    for (auto& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::Cell, kStripes> cells_;
+};
+
+/// Last-write-wins instantaneous value (occupancy, queue depth, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { bits_.store(pack(v), std::memory_order_relaxed); }
+  double value() const noexcept { return unpack(bits_.load(std::memory_order_relaxed)); }
+  void reset() noexcept { bits_.store(pack(0.0), std::memory_order_relaxed); }
+
+ private:
+  // Stored as bit pattern: atomic<double> arithmetic is not needed and
+  // atomic<uint64_t> is lock-free everywhere we build.
+  static std::uint64_t pack(double v) {
+    std::uint64_t b;
+    static_assert(sizeof b == sizeof v);
+    __builtin_memcpy(&b, &v, sizeof b);
+    return b;
+  }
+  static double unpack(std::uint64_t b) {
+    double v;
+    __builtin_memcpy(&v, &b, sizeof v);
+    return v;
+  }
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Histogram of non-negative integer samples (we use microseconds) in
+/// power-of-two buckets: bucket b counts samples with bit_width(v) == b,
+/// i.e. v in [2^(b-1), 2^b). Bucket 0 counts zeros. 44 buckets cover
+/// ~200 days in µs.
+class Histogram {
+ public:
+  static constexpr std::uint32_t kBuckets = 44;
+
+  void observe(std::uint64_t v) noexcept {
+    Shard& s = shards_[thread_id() % kStripes];
+    const std::uint32_t b =
+        std::min<std::uint32_t>(kBuckets - 1, bit_width_u64(v));
+    s.buckets[b].fetch_add(1, std::memory_order_relaxed);
+    s.sum.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+    /// Upper bound of the bucket holding the q-quantile sample (q in
+    /// [0, 1]) — a factor-of-two estimate, which is all a one-screen
+    /// summary needs.
+    std::uint64_t quantile_bound(double q) const;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot out;
+    for (const auto& s : shards_) {
+      out.sum += s.sum.load(std::memory_order_relaxed);
+      for (std::uint32_t b = 0; b < kBuckets; ++b) {
+        const std::uint64_t n = s.buckets[b].load(std::memory_order_relaxed);
+        out.buckets[b] += n;
+        out.count += n;
+      }
+    }
+    return out;
+  }
+
+  void reset() noexcept {
+    for (auto& s : shards_) {
+      s.sum.store(0, std::memory_order_relaxed);
+      for (auto& b : s.buckets) b.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static std::uint32_t bit_width_u64(std::uint64_t v) noexcept {
+    return v == 0 ? 0 : 64 - static_cast<std::uint32_t>(__builtin_clzll(v));
+  }
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> sum{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+  };
+  std::array<Shard, kStripes> shards_;
+};
+
+/// Merged point-in-time view of every registered metric, sorted by name —
+/// deterministic export order for metrics.json and the summary table.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+};
+
+class MetricRegistry {
+ public:
+  /// The process-wide registry every subsystem instruments into.
+  static MetricRegistry& global();
+
+  /// Create-or-get by name. The returned reference is valid for the
+  /// registry's lifetime; call sites cache it (function-local static) so
+  /// the map lookup is paid once, not per increment. A name registered as
+  /// one kind cannot be re-registered as another (throws SimError).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zeroes every metric (benches and tests that want per-run deltas).
+  /// Registered names and cached references stay valid.
+  void reset();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry(std::string_view name, Kind kind);
+
+  mutable std::shared_mutex mu_;
+  // std::map: stable node storage *and* name-sorted iteration for free.
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+}  // namespace musa::obs

@@ -1,0 +1,143 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <memory>
+
+#include "obs/metrics.hpp"
+
+namespace musa::obs {
+
+const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kNone: return "";
+    case Outcome::kOk: return "ok";
+    case Outcome::kFail: return "fail";
+    case Outcome::kQuarantined: return "quarantined";
+    case Outcome::kMemoHit: return "memo-hit";
+    case Outcome::kRetry: return "retry";
+  }
+  return "";
+}
+
+void set_event_key(TraceEvent& ev, std::string_view key) {
+  const std::size_t n = std::min(key.size(), TraceEvent::kKeyBytes - 1);
+  std::memcpy(ev.key, key.data(), n);
+  ev.key[n] = '\0';
+}
+
+namespace {
+
+struct Slot {
+  // seq == claim index + 1 once the payload below is fully written; a
+  // release store here pairs with the quiescent drain's acquire load.
+  std::atomic<std::uint64_t> seq{0};
+  TraceEvent ev;
+};
+
+struct Ring {
+  explicit Ring(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots = std::make_unique<Slot[]>(cap);
+    mask = cap - 1;
+  }
+  std::unique_ptr<Slot[]> slots;
+  std::size_t mask = 0;
+  std::atomic<std::uint64_t> head{0};
+  std::chrono::steady_clock::time_point steady_epoch{};
+  std::uint64_t epoch_unix_us = 0;
+};
+
+// Owned pointer, swapped only by install()/shutdown() — both are
+// quiescent operations (no emitters running), like drain().
+Ring* g_ring = nullptr;
+
+}  // namespace
+
+std::atomic<bool> Tracer::enabled_{false};
+
+void Tracer::install(std::size_t capacity) {
+  shutdown();
+  auto* ring = new Ring(capacity);
+  ring->steady_epoch = std::chrono::steady_clock::now();
+  ring->epoch_unix_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  g_ring = ring;
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::shutdown() {
+  enabled_.store(false, std::memory_order_release);
+  delete g_ring;
+  g_ring = nullptr;
+}
+
+std::uint64_t Tracer::now_us() {
+  const Ring* ring = g_ring;
+  if (ring == nullptr) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ring->steady_epoch)
+          .count());
+}
+
+std::uint64_t Tracer::epoch_unix_us() {
+  const Ring* ring = g_ring;
+  return ring != nullptr ? ring->epoch_unix_us : 0;
+}
+
+void Tracer::emit(const TraceEvent& ev) {
+  Ring* ring = g_ring;
+  if (ring == nullptr || !enabled()) return;
+  const std::uint64_t idx =
+      ring->head.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring->slots[idx & ring->mask];
+  slot.ev = ev;
+  slot.ev.tid = static_cast<std::uint16_t>(thread_id());
+  slot.seq.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::drain() {
+  const Ring* ring = g_ring;
+  std::vector<TraceEvent> out;
+  if (ring == nullptr) return out;
+  const std::uint64_t head = ring->head.load(std::memory_order_acquire);
+  const std::uint64_t cap = ring->mask + 1;
+  out.reserve(std::min<std::uint64_t>(head, cap));
+  for (std::uint64_t i = 0; i <= ring->mask; ++i) {
+    const Slot& slot = ring->slots[i];
+    if (slot.seq.load(std::memory_order_acquire) == 0) continue;
+    out.push_back(slot.ev);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_us != b.ts_us ? a.ts_us < b.ts_us
+                                        : a.dur_us > b.dur_us;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() {
+  const Ring* ring = g_ring;
+  if (ring == nullptr) return 0;
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  const std::uint64_t cap = ring->mask + 1;
+  return head > cap ? head - cap : 0;
+}
+
+void instant(const char* name, std::string_view key, Outcome outcome) {
+  if (!Tracer::enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.phase = 'i';
+  ev.ts_us = Tracer::now_us();
+  ev.outcome = outcome;
+  set_event_key(ev, key);
+  Tracer::emit(ev);
+}
+
+}  // namespace musa::obs

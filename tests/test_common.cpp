@@ -97,6 +97,94 @@ TEST(Stats, GeomeanOfPowersOfTwo) {
   EXPECT_EQ(geomean({}), 0.0);
 }
 
+TEST(Stats, GeomeanSkipsNonPositiveEntriesWithCount) {
+  // The old implementation returned NaN (log of a negative) or -inf (log
+  // of zero) here; the fixed one skips the bad entries and reports how
+  // many were dropped.
+  std::size_t skipped = 0;
+  EXPECT_NEAR(geomean({2.0, 0.0, 8.0, -3.0}, &skipped), 4.0, 1e-12);
+  EXPECT_EQ(skipped, 2u);
+
+  skipped = 0;
+  const double nan = std::nan("");
+  EXPECT_NEAR(geomean({nan, 4.0}, &skipped), 4.0, 1e-12);
+  EXPECT_EQ(skipped, 1u);
+
+  // All entries degenerate: no positive sample remains, result is 0.
+  skipped = 0;
+  EXPECT_EQ(geomean({0.0, -1.0}, &skipped), 0.0);
+  EXPECT_EQ(skipped, 2u);
+}
+
+TEST(Stats, GeomeanStrictThrowsOnNonPositive) {
+  EXPECT_NEAR(geomean_strict({2.0, 8.0}), 4.0, 1e-12);
+  try {
+    geomean_strict({2.0, 0.0, 8.0});
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.error_class(), ErrorClass::kConfig);
+    // The message names the offending index so the caller can find the
+    // degenerate ratio in its input.
+    EXPECT_NE(std::string(e.what()).find("sample 1"), std::string::npos);
+  }
+  EXPECT_THROW(geomean_strict({-1.0}), SimError);
+  EXPECT_THROW(geomean_strict({std::nan("")}), SimError);
+}
+
+TEST(Stats, StddevSingleSampleIsZeroLikeRunningStats) {
+  // n == 1 must agree between the free function and the accumulator:
+  // zero spread, not NaN from the n-1 denominator.
+  EXPECT_EQ(stddev({42.0}), 0.0);
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(stddev({}), 0.0);
+}
+
+TEST(RunningStats, MergeOfSingletonsMatchesWholeVector) {
+  // Every sample in its own accumulator, merged pairwise — the worst case
+  // for a merge formula that divides by (n-1) or assumes n >= 2.
+  const std::vector<double> xs = {5.0, -1.0, 3.5, 8.0};
+  RunningStats merged;
+  for (double x : xs) {
+    RunningStats single;
+    single.add(x);
+    merged.merge(single);
+  }
+  RunningStats whole;
+  for (double x : xs) whole.add(x);
+  EXPECT_EQ(merged.count(), whole.count());
+  EXPECT_NEAR(merged.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), whole.variance(), 1e-12);
+  EXPECT_EQ(merged.min(), whole.min());
+  EXPECT_EQ(merged.max(), whole.max());
+}
+
+TEST(RunningStats, MergeOfRandomSplitsMatchesWholeVector) {
+  // Property test: for random data and random partitions into k parts,
+  // merging the parts equals accumulating the whole vector.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 1 + static_cast<int>(rng.next_below(60));
+    const int parts = 1 + static_cast<int>(rng.next_below(8));
+    std::vector<RunningStats> split(parts);
+    RunningStats whole;
+    for (int i = 0; i < n; ++i) {
+      const double x = rng.next_normal(0.0, 50.0);
+      whole.add(x);
+      split[rng.next_below(static_cast<std::uint64_t>(parts))].add(x);
+    }
+    RunningStats merged;  // also covers merging into an empty accumulator
+    for (const auto& part : split) merged.merge(part);
+    ASSERT_EQ(merged.count(), whole.count()) << "trial " << trial;
+    EXPECT_NEAR(merged.mean(), whole.mean(), 1e-9) << "trial " << trial;
+    EXPECT_NEAR(merged.stddev(), whole.stddev(), 1e-9) << "trial " << trial;
+    EXPECT_EQ(merged.min(), whole.min()) << "trial " << trial;
+    EXPECT_EQ(merged.max(), whole.max()) << "trial " << trial;
+  }
+}
+
 TEST(Units, FrequencyRoundTrip) {
   Frequency f{2.5};
   EXPECT_NEAR(f.cycles_to_seconds(f.seconds_to_cycles(1.25)), 1.25, 1e-12);
@@ -231,10 +319,56 @@ TEST(Progress, LineReportsRateAndEta) {
   EXPECT_NE(line.find("50.0%"), std::string::npos);
   EXPECT_NE(line.find("5.00/s"), std::string::npos);
   EXPECT_NE(line.find("ETA 10s"), std::string::npos);
-  // Finished: no remaining time.
-  EXPECT_NE(pr.line(100, 20.0).find("ETA 0s"), std::string::npos);
+  // Finished: nothing remains to estimate — "-", never the old "ETA 0s".
+  EXPECT_NE(pr.line(100, 20.0).find("ETA -"), std::string::npos);
+  EXPECT_EQ(pr.line(100, 20.0).find("ETA 0s"), std::string::npos);
   pr.tick(100);  // disabled reporter stays silent but counts
   EXPECT_EQ(pr.done(), 100u);
+}
+
+TEST(Progress, LineReportsUnknownEtaOnZeroRate) {
+  ProgressReporter pr("sweep", 100, /*min_interval_s=*/1.0,
+                      /*enabled=*/false);
+  // Zero elapsed time (or zero completions) means the rate is unmeasurable:
+  // the ETA is unknown, not the old divide-by-zero "ETA 0s".
+  EXPECT_NE(pr.line(50, 0.0).find("ETA ?"), std::string::npos);
+  EXPECT_NE(pr.line(0, 10.0).find("ETA ?"), std::string::npos);
+  // Overshoot (done > total, e.g. duplicate journal replay) is "done".
+  EXPECT_NE(pr.line(120, 10.0).find("ETA -"), std::string::npos);
+}
+
+TEST(Progress, FinalLinePrintsExactlyOnceUnderFakeClock) {
+  ProgressReporter pr("sweep", 4, /*min_interval_s=*/10.0,
+                      /*enabled=*/true);
+  std::vector<std::string> lines;
+  pr.set_sink([&](const std::string& s) { lines.push_back(s); });
+
+  pr.tick_at(1, 0.1);  // first tick always prints
+  pr.tick_at(1, 0.2);  // inside the 10s rate-limit window: silent
+  ASSERT_EQ(lines.size(), 1u);
+  // The finishing tick lands inside min_interval_s too, but the 100% line
+  // must print anyway — and exactly once, even when more ticks follow.
+  pr.tick_at(2, 0.3);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("4/4"), std::string::npos);
+  EXPECT_NE(lines[1].find("ETA -"), std::string::npos);
+  pr.tick_at(1, 0.4);  // past-total tick: no duplicate final line
+  pr.tick_at(0, 99.0);
+  EXPECT_EQ(lines.size(), 2u);
+  EXPECT_EQ(pr.done(), 5u);
+}
+
+TEST(Progress, IntermediateLinesRespectMinInterval) {
+  ProgressReporter pr("sweep", 100, /*min_interval_s=*/2.0,
+                      /*enabled=*/true);
+  std::vector<std::string> lines;
+  pr.set_sink([&](const std::string& s) { lines.push_back(s); });
+  pr.tick_at(10, 0.5);  // first due line (interval measured from -inf)
+  pr.tick_at(10, 1.0);  // within 2s of the last print: suppressed
+  pr.tick_at(10, 2.6);  // due again
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("10/100"), std::string::npos);
+  EXPECT_NE(lines[1].find("30/100"), std::string::npos);
 }
 
 TEST(FlatTable64, InsertFindGrow) {
