@@ -8,16 +8,28 @@
 // the trace-generation, burst, stream, and warm-up work, so the memoized
 // sweep should pay the measured detailed run per point and little else.
 //
-// The bench runs the sweep three times — memo off, memo on, memo on with
-// the span tracer armed — checks the result sets are byte-identical (the
-// memo's core contract; tracing must never perturb results either), and
-// reports wall time, points/s, the per-stage and worker-occupancy
-// breakdown, the memo hit rates, and the tracing overhead ratio (the
-// DESIGN.md §7e budget: armed tracing within ~2% of untraced).
+// The bench runs the sweep four times — memo off, memo on, memo on with
+// the span tracer armed, and memo on forced through the core model's
+// single-step reference path — checks the result sets are byte-identical
+// across all four (the memo's core contract; tracing and the batched block
+// replay must never perturb results either), and reports wall time,
+// points/s, the per-stage and worker-occupancy breakdown, the memo hit
+// rates, the tracing overhead ratio (the DESIGN.md §7e budget: armed
+// tracing within ~2% of untraced), and kernel_speedup — the kernel-stage
+// time of the single-step reference over the batched block path
+// (DESIGN.md §7f).
 //
-// Usage: sweep_bench [output.json]   (default BENCH_sweep.json)
+// Usage: sweep_bench [--check-regression BASELINE.json] [output.json]
+//   (output defaults to BENCH_sweep.json)
+//
+// With --check-regression, the memo run's points_per_s and kernel_s are
+// compared against the named baseline (a previously committed
+// BENCH_sweep.json): a >10% regression on either exits nonzero, so a CI
+// leg can catch replay-path slowdowns as a number, not a feeling.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -46,7 +58,7 @@ struct Run {
 /// reported — the standard way to keep scheduler noise out of the ratio.
 constexpr int kReps = 3;
 
-Run run_sweep(bool memoize, bool trace = false) {
+Run run_sweep(bool memoize, bool trace = false, bool single_step = false) {
   SweepOptions opts;
   opts.verbose = false;
   opts.memoize = memoize;
@@ -56,7 +68,8 @@ Run run_sweep(bool memoize, bool trace = false) {
   Run r;
   for (int rep = 0; rep < kReps; ++rep) {
     if (trace) musa::obs::Tracer::install();  // re-install clears the ring
-    Pipeline pipeline;
+    Pipeline pipeline(musa::core::PipelineOptions{.single_step_core =
+                                                      single_step});
     // No cache path: pure compute, no journal fsyncs in the timing.
     DseEngine dse(pipeline, "", opts);
     const auto t0 = std::chrono::steady_clock::now();
@@ -125,10 +138,50 @@ void json_run(std::FILE* f, const char* name, const Run& r) {
       MemoStats::rate(m.total_hits(), m.total_misses()));
 }
 
+/// Pulls `points_per_s` and `stages.kernel_s` of the "memo" run out of a
+/// BENCH_sweep.json written by this program. Plain string scanning — the
+/// format is our own, flat, and covered by the identity checks above; a
+/// JSON library for two numbers would be a dependency for nothing.
+bool parse_baseline(const std::string& path, double& points_per_s,
+                    double& kernel_s) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  // "no_memo" precedes "memo" but does not contain the quoted key.
+  const std::size_t memo = text.find("\"memo\": {");
+  if (memo == std::string::npos) return false;
+  const auto field = [&](const char* key, double& out) {
+    const std::string needle = std::string("\"") + key + "\": ";
+    const std::size_t p = text.find(needle, memo);
+    if (p == std::string::npos) return false;
+    out = std::strtod(text.c_str() + p + needle.size(), nullptr);
+    return true;
+  };
+  return field("points_per_s", points_per_s) && field("kernel_s", kernel_s);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sweep.json";
+  std::string out_path = "BENCH_sweep.json";
+  std::string baseline_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-regression") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else {
+      out_path = argv[i];
+    }
+  }
+  double base_pps = 0.0, base_kernel_s = 0.0;
+  if (!baseline_path.empty() &&
+      !parse_baseline(baseline_path, base_pps, base_kernel_s)) {
+    std::fprintf(stderr, "cannot parse baseline %s\n", baseline_path.c_str());
+    return 1;
+  }
 
   std::printf("sweep_bench: fixed 24-point sweep (hydro, 4 presets x 3 "
               "freqs x 2 channel counts)\n");
@@ -144,21 +197,34 @@ int main(int argc, char** argv) {
   std::printf("  traced:  %6.2fs  (%.2f points/s, %zu events)\n",
               traced.wall_s, traced.report.computed / traced.wall_s,
               trace_events);
+  const Run reference =
+      run_sweep(/*memoize=*/true, /*trace=*/false, /*single_step=*/true);
+  std::printf("  single-step reference: %6.2fs  (%.2f points/s)\n",
+              reference.wall_s, reference.report.computed / reference.wall_s);
 
   // The memo is only a win if it is *free* in results: identical bytes.
-  // The tracer must be invisible in results too — it only observes.
-  if (plain.rows != memo.rows || memo.rows != traced.rows) {
+  // The tracer must be invisible in results too — it only observes. And the
+  // batched block replay is only an optimisation if the single-step
+  // reference path produces the very same rows.
+  if (plain.rows != memo.rows || memo.rows != traced.rows ||
+      traced.rows != reference.rows) {
     std::fprintf(stderr,
-                 "FAIL: sweep results differ across memo/tracing modes — "
-                 "staleness or observer-effect bug\n");
+                 "FAIL: sweep results differ across memo/tracing/replay "
+                 "modes — staleness, observer-effect, or batching bug\n");
     return 1;
   }
   const double speedup = memo.wall_s > 0 ? plain.wall_s / memo.wall_s : 0.0;
   const double trace_overhead =
       memo.wall_s > 0 ? traced.wall_s / memo.wall_s : 0.0;
+  // Kernel-stage time of the single-step reference over the batched block
+  // path — same memo state, same results, only the replay loop differs.
+  const double kernel_speedup =
+      memo.report.stages.kernel_s > 0
+          ? reference.report.stages.kernel_s / memo.report.stages.kernel_s
+          : 0.0;
   std::printf("  results byte-identical; speedup %.2fx, "
-              "tracing overhead %.3fx\n",
-              speedup, trace_overhead);
+              "tracing overhead %.3fx, kernel_speedup %.2fx\n",
+              speedup, trace_overhead, kernel_speedup);
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (f == nullptr) {
@@ -171,11 +237,42 @@ int main(int argc, char** argv) {
   json_run(f, "memo", memo);
   std::fprintf(f, ",\n");
   json_run(f, "traced", traced);
+  std::fprintf(f, ",\n");
+  json_run(f, "reference", reference);
   std::fprintf(f,
                ",\n  \"speedup\": %.3f,\n  \"trace_overhead\": %.4f,\n"
+               "  \"kernel_speedup\": %.3f,\n"
                "  \"trace_events\": %zu,\n  \"identical\": true\n}\n",
-               speedup, trace_overhead, trace_events);
+               speedup, trace_overhead, kernel_speedup, trace_events);
   std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
+
+  if (!baseline_path.empty()) {
+    const double new_pps =
+        memo.wall_s > 0
+            ? static_cast<double>(memo.report.computed) / memo.wall_s
+            : 0.0;
+    const double new_kernel_s = memo.report.stages.kernel_s;
+    std::printf("regression check vs %s: points/s %.2f -> %.2f, "
+                "kernel_s %.4f -> %.4f\n",
+                baseline_path.c_str(), base_pps, new_pps, base_kernel_s,
+                new_kernel_s);
+    bool failed = false;
+    if (new_pps < 0.9 * base_pps) {
+      std::fprintf(stderr,
+                   "FAIL: memo throughput regressed >10%% "
+                   "(%.2f -> %.2f points/s)\n",
+                   base_pps, new_pps);
+      failed = true;
+    }
+    if (new_kernel_s > 1.1 * base_kernel_s) {
+      std::fprintf(stderr,
+                   "FAIL: kernel stage regressed >10%% (%.4fs -> %.4fs)\n",
+                   base_kernel_s, new_kernel_s);
+      failed = true;
+    }
+    if (failed) return 1;
+    std::printf("regression check passed\n");
+  }
   return 0;
 }

@@ -17,44 +17,6 @@ Cache::Cache(const CacheConfig& config) : config_(config) {
   lines_.assign(num_sets_ * config.ways, Line{});
 }
 
-AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
-  ++stats_.accesses;
-  const std::uint64_t line_addr = addr / kLineBytes;
-  std::uint64_t set, tag;
-  split(line_addr, set, tag);
-  MUSA_DCHECK_MSG((set + 1) * config_.ways <= lines_.size(),
-                  "set index out of range");
-  Line* base = &lines_[set * config_.ways];
-
-  Line* victim = base;
-  for (int w = 0; w < config_.ways; ++w) {
-    Line& line = base[w];
-    if (line.valid && line.tag == tag) {
-      line.lru = ++stamp_;
-      line.dirty = line.dirty || is_write;
-      return {.hit = true};
-    }
-    if (!line.valid) {
-      victim = &line;  // prefer an invalid way
-    } else if (victim->valid && line.lru < victim->lru) {
-      victim = &line;
-    }
-  }
-
-  ++stats_.misses;
-  AccessOutcome out;
-  if (victim->valid && victim->dirty) {
-    ++stats_.writebacks;
-    out.writeback = true;
-    out.victim_addr = (victim->tag * num_sets_ + set) * kLineBytes;
-  }
-  victim->tag = tag;
-  victim->valid = true;
-  victim->dirty = is_write;
-  victim->lru = ++stamp_;
-  return out;
-}
-
 bool Cache::probe(std::uint64_t addr) const {
   const std::uint64_t line_addr = addr / kLineBytes;
   std::uint64_t set, tag;
@@ -67,6 +29,7 @@ bool Cache::probe(std::uint64_t addr) const {
 
 void Cache::flush(bool clear_stats) {
   for (auto& line : lines_) line = Line{};
+  hint_line_ = ~0ull;
   if (clear_stats) stats_ = CacheStats{};
 }
 

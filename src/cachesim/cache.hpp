@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace musa::cachesim {
 
 constexpr std::uint64_t kLineBytes = 64;
@@ -47,7 +49,21 @@ class Cache {
   /// Looks up `addr`; on miss the line is allocated (possibly evicting a
   /// dirty victim, reported in the outcome so the caller can propagate the
   /// write-back down the hierarchy). `is_write` marks the line dirty.
+  ///
+  /// Defined inline below: this is the innermost call of the replay hot
+  /// loop (tens of millions of calls per sweep) and must not cost a
+  /// cross-TU call per line.
   AccessOutcome access(std::uint64_t addr, bool is_write);
+
+  /// Hit-only probe for the batched replay fast path: if `addr` hits, the
+  /// side effects are exactly those of access() on a hit (access count, LRU
+  /// stamp, dirty marking) and the call returns true. On a miss it touches
+  /// NOTHING — no counters, no allocation — so the caller can re-drive the
+  /// same address through access() and end up in the identical state a
+  /// single access() call would have produced. Skips the victim tracking
+  /// access() performs up front, which is pure waste on the ~95% of replay
+  /// accesses that hit.
+  bool try_hit(std::uint64_t addr, bool is_write);
 
   /// True if the line holding addr is currently resident (no state change).
   bool probe(std::uint64_t addr) const;
@@ -91,6 +107,79 @@ class Cache {
   std::uint64_t set_mask_ = 0;  // num_sets_ - 1 if power of two, else 0
   int tag_shift_ = 0;
   std::uint64_t stamp_ = 0;
+  // Last line try_hit resolved, so back-to-back probes of one line (the
+  // common streaming pattern: consecutive lanes walking a 64-byte line)
+  // skip the way scan. A line can only stop being resident through a miss
+  // allocation, so access() drops the hint on every miss; lines_ never
+  // reallocates after construction, so the cached pointer stays valid.
+  std::uint64_t hint_line_ = ~0ull;
+  Line* hint_ = nullptr;
 };
+
+inline AccessOutcome Cache::access(std::uint64_t addr, bool is_write) {
+  ++stats_.accesses;
+  const std::uint64_t line_addr = addr / kLineBytes;
+  std::uint64_t set, tag;
+  split(line_addr, set, tag);
+  MUSA_DCHECK_MSG((set + 1) * config_.ways <= lines_.size(),
+                  "set index out of range");
+  Line* base = &lines_[set * config_.ways];
+
+  Line* victim = base;
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.lru = ++stamp_;
+      line.dirty = line.dirty || is_write;
+      return {.hit = true};
+    }
+    if (!line.valid) {
+      victim = &line;  // prefer an invalid way
+    } else if (victim->valid && line.lru < victim->lru) {
+      victim = &line;
+    }
+  }
+
+  ++stats_.misses;
+  hint_line_ = ~0ull;  // the allocation below may replace the hinted line
+  AccessOutcome out;
+  if (victim->valid && victim->dirty) {
+    ++stats_.writebacks;
+    out.writeback = true;
+    out.victim_addr = (victim->tag * num_sets_ + set) * kLineBytes;
+  }
+  victim->tag = tag;
+  victim->valid = true;
+  victim->dirty = is_write;
+  victim->lru = ++stamp_;
+  return out;
+}
+
+inline bool Cache::try_hit(std::uint64_t addr, bool is_write) {
+  const std::uint64_t line_addr = addr / kLineBytes;
+  if (line_addr == hint_line_) {
+    ++stats_.accesses;
+    hint_->lru = ++stamp_;
+    hint_->dirty = hint_->dirty || is_write;
+    return true;
+  }
+  std::uint64_t set, tag;
+  split(line_addr, set, tag);
+  MUSA_DCHECK_MSG((set + 1) * config_.ways <= lines_.size(),
+                  "set index out of range");
+  Line* base = &lines_[set * config_.ways];
+  for (int w = 0; w < config_.ways; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      ++stats_.accesses;
+      line.lru = ++stamp_;
+      line.dirty = line.dirty || is_write;
+      hint_line_ = line_addr;
+      hint_ = &line;
+      return true;
+    }
+  }
+  return false;
+}
 
 }  // namespace musa::cachesim

@@ -40,61 +40,6 @@ MemHierarchy::MemHierarchy(const HierarchyConfig& config)
   }
 }
 
-MemOutcome MemHierarchy::access(int core, std::uint64_t addr, bool is_write) {
-  // Hottest simulator path (one call per memory access): debug-only check.
-  MUSA_DCHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
-  MemOutcome out;
-
-  const AccessOutcome a1 = l1_[core].access(addr, is_write);
-  if (a1.hit) {
-    out.level = HitLevel::kL1;
-    out.latency_cycles = config_.l1.latency_cycles;
-    return out;
-  }
-
-  // L1 dirty victim is absorbed by L2 (write-allocate at L2).
-  if (a1.writeback) {
-    const AccessOutcome wb = l2_[core].access(a1.victim_addr, /*write=*/true);
-    if (!wb.hit && wb.writeback) {
-      const AccessOutcome wb3 = l3_.access(wb.victim_addr, /*write=*/true);
-      if (!wb3.hit && wb3.writeback) {
-        ++out.dram_writebacks;
-        out.wb_addr = wb3.victim_addr;
-      }
-    }
-  }
-
-  const AccessOutcome a2 = l2_[core].access(addr, is_write);
-  if (a2.writeback) {
-    const AccessOutcome wb3 = l3_.access(a2.victim_addr, /*write=*/true);
-    if (!wb3.hit && wb3.writeback) {
-      ++out.dram_writebacks;
-      out.wb_addr = wb3.victim_addr;
-    }
-  }
-  if (a2.hit) {
-    out.level = HitLevel::kL2;
-    out.latency_cycles = config_.l2.latency_cycles;
-    return out;
-  }
-
-  const AccessOutcome a3 = l3_.access(addr, is_write);
-  if (a3.writeback) {
-    ++out.dram_writebacks;
-    out.wb_addr = a3.victim_addr;
-  }
-  if (a3.hit) {
-    out.level = HitLevel::kL3;
-    out.latency_cycles = config_.l3.latency_cycles;
-    return out;
-  }
-
-  out.level = HitLevel::kMemory;
-  out.latency_cycles = config_.l3.latency_cycles;  // + DRAM, added by caller
-  out.dram_read = true;
-  return out;
-}
-
 void MemHierarchy::reset_stats() {
   for (auto& c : l1_) c.reset_stats();
   for (auto& c : l2_) c.reset_stats();

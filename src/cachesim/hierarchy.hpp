@@ -45,7 +45,32 @@ class MemHierarchy {
   /// One 64-byte-line access by `core`. Propagates misses and write-backs
   /// through the levels; DRAM cost is *not* included in latency_cycles —
   /// the caller adds it (it depends on the DRAM model's queue state).
+  /// Defined inline below (replay hot path).
   MemOutcome access(int core, std::uint64_t addr, bool is_write);
+
+  /// Batched form for the SoA replay path: one access per entry of a
+  /// coalesced line list (each `addrs[i]` the representative address of a
+  /// distinct line), outcomes written to `out[0..n)`. Exactly equivalent to
+  /// n access() calls in order — the tag-array walk just stays hot in one
+  /// tight loop with the per-level set masks already resolved, instead of
+  /// being re-entered from the core model per lane.
+  void access_block(int core, const std::uint64_t* addrs, std::size_t n,
+                    bool is_write, MemOutcome* out);
+
+  /// L1 hit-only probe (see Cache::try_hit): true — and the exact access()
+  /// L1-hit side effects — when `addr` hits `core`'s L1; false and NO state
+  /// change otherwise. The batched replay path uses it to resolve the
+  /// dominant single-line L1-hit accesses without building outcome records
+  /// or entering the miss plumbing.
+  bool l1_try_hit(int core, std::uint64_t addr, bool is_write);
+
+  /// Direct handle on `core`'s L1 array for the batched replay loop: probing
+  /// through l1_try_hit() re-resolves the vector element on every op, while
+  /// the replay loop runs millions of probes against one fixed core.
+  Cache& l1_cache(int core) {
+    MUSA_DCHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
+    return l1_[core];
+  }
 
   const HierarchyConfig& config() const { return config_; }
   const CacheStats& l1_stats(int core) const { return l1_[core].stats(); }
@@ -65,5 +90,73 @@ class MemHierarchy {
   std::vector<Cache> l2_;
   Cache l3_;
 };
+
+inline MemOutcome MemHierarchy::access(int core, std::uint64_t addr,
+                                       bool is_write) {
+  // Hottest simulator path (one call per memory access): debug-only check.
+  MUSA_DCHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
+  MemOutcome out;
+
+  const AccessOutcome a1 = l1_[core].access(addr, is_write);
+  if (a1.hit) {
+    out.level = HitLevel::kL1;
+    out.latency_cycles = config_.l1.latency_cycles;
+    return out;
+  }
+
+  // L1 dirty victim is absorbed by L2 (write-allocate at L2).
+  if (a1.writeback) {
+    const AccessOutcome wb = l2_[core].access(a1.victim_addr, /*write=*/true);
+    if (!wb.hit && wb.writeback) {
+      const AccessOutcome wb3 = l3_.access(wb.victim_addr, /*write=*/true);
+      if (!wb3.hit && wb3.writeback) {
+        ++out.dram_writebacks;
+        out.wb_addr = wb3.victim_addr;
+      }
+    }
+  }
+
+  const AccessOutcome a2 = l2_[core].access(addr, is_write);
+  if (a2.writeback) {
+    const AccessOutcome wb3 = l3_.access(a2.victim_addr, /*write=*/true);
+    if (!wb3.hit && wb3.writeback) {
+      ++out.dram_writebacks;
+      out.wb_addr = wb3.victim_addr;
+    }
+  }
+  if (a2.hit) {
+    out.level = HitLevel::kL2;
+    out.latency_cycles = config_.l2.latency_cycles;
+    return out;
+  }
+
+  const AccessOutcome a3 = l3_.access(addr, is_write);
+  if (a3.writeback) {
+    ++out.dram_writebacks;
+    out.wb_addr = a3.victim_addr;
+  }
+  if (a3.hit) {
+    out.level = HitLevel::kL3;
+    out.latency_cycles = config_.l3.latency_cycles;
+    return out;
+  }
+
+  out.level = HitLevel::kMemory;
+  out.latency_cycles = config_.l3.latency_cycles;  // + DRAM, added by caller
+  out.dram_read = true;
+  return out;
+}
+
+inline void MemHierarchy::access_block(int core, const std::uint64_t* addrs,
+                                       std::size_t n, bool is_write,
+                                       MemOutcome* out) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = access(core, addrs[i], is_write);
+}
+
+inline bool MemHierarchy::l1_try_hit(int core, std::uint64_t addr,
+                                     bool is_write) {
+  MUSA_DCHECK_MSG(core >= 0 && core < config_.num_cores, "core out of range");
+  return l1_[core].try_hit(addr, is_write);
+}
 
 }  // namespace musa::cachesim

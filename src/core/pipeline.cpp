@@ -54,8 +54,23 @@ cachesim::HierarchyConfig scale_caches(const cachesim::HierarchyConfig& c,
 void functional_warm(trace::InstrSource& source,
                      cachesim::MemHierarchy& hierarchy,
                      std::uint64_t instrs) {
+  // Bulk path: the take_block cap consumes *exactly* `instrs` instructions,
+  // leaving the source positioned where the measured run must begin.
+  std::uint64_t left = instrs;
+  const isa::Instr* block = nullptr;
+  std::size_t n;
+  while (left > 0 && (n = source.take_block(
+                          &block, static_cast<std::size_t>(left))) > 0) {
+    deadline::poll();
+    for (std::size_t i = 0; i < n; ++i)
+      if (isa::is_mem(block[i].op))
+        hierarchy.access(0, block[i].addr,
+                         block[i].op == isa::OpClass::kStore);
+    left -= n;
+  }
+  // Sources that cannot hand out blocks fall back to one next() per instr.
   isa::Instr in;
-  for (std::uint64_t i = 0; i < instrs && source.next(in); ++i) {
+  for (; left > 0 && source.next(in); --left) {
     deadline::poll();
     if (isa::is_mem(in.op))
       hierarchy.access(0, in.addr, in.op == isa::OpClass::kStore);
@@ -214,10 +229,27 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
     dram_timing.bytes_per_clock /= std::max(1.0, active_cores);
   dramsim::DramSystem dram(dram_timing, config.mem_channels);
 
-  const cpusim::CoreRunOptions measure_opts{.vector_bits =
-                                                config.vector_bits};
+  const cpusim::CoreRunOptions measure_opts{
+      .vector_bits = config.vector_bits,
+      .single_step = options_.single_step_core};
   const cpusim::CoreRunOptions perfect_opts{
-      .vector_bits = config.vector_bits, .perfect_memory = true};
+      .vector_bits = config.vector_bits,
+      .perfect_memory = true,
+      .single_step = options_.single_step_core};
+
+  // The perfect-memory attribution run converges on a quarter slice, but
+  // the slice must never round down to zero instructions (measure_instrs
+  // < 4): a 0-budget stream would make perfect_cpi 0/0 = NaN, and the
+  // mem_stall_frac clamp on NaN is unspecified.
+  const std::uint64_t perfect_slice =
+      std::max<std::uint64_t>(1, options_.measure_instrs / 4);
+  auto perfect_cpi_of = [&](const cpusim::CoreStats& pstats) {
+    if (pstats.scalar_instrs == 0)
+      throw SimError("perfect-memory run produced no instructions at point " +
+                         app.name + "|" + config.id(),
+                     ErrorClass::kConfig, "kernel");
+    return pstats.cycles / static_cast<double>(pstats.scalar_instrs);
+  };
 
   // --- Measured run (after cache warm-up) --------------------------------
   // The detailed simulation models one core of the node, so it sees its
@@ -241,7 +273,7 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
               profile, options_.warm_instrs + options_.measure_instrs,
               options_.seed * 7919 + 17);
           for (isa::Instr in; full.next(in);) s.full.push_back(in);
-          trace::KernelSource perfect(profile, options_.measure_instrs / 4,
+          trace::KernelSource perfect(profile, perfect_slice,
                                       options_.seed * 7919 + 17);
           for (isa::Instr in; perfect.next(in);) s.perfect.push_back(in);
           return s;
@@ -275,8 +307,7 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
           cpusim::CoreModel pcore(config.core, freq, perfect_hierarchy,
                                   perfect_dram);
           const cpusim::CoreStats pstats = pcore.run(psource, perfect_opts);
-          return pstats.cycles /
-                 static_cast<double>(pstats.scalar_instrs);
+          return perfect_cpi_of(pstats);
         });
   } else {
     cachesim::MemHierarchy hierarchy(caches);
@@ -295,11 +326,11 @@ Pipeline::DetailedTiming Pipeline::simulate_kernel(
     // A quarter slice converges: the perfect-memory CPI is stationary.
     cachesim::MemHierarchy ph(caches);  // untouched under perfect_memory
     dramsim::DramSystem pd(dramsim::timing_for(config.mem_tech), 1);
-    trace::KernelSource psource(profile, options_.measure_instrs / 4,
+    trace::KernelSource psource(profile, perfect_slice,
                                 options_.seed * 7919 + 17);
     cpusim::CoreModel pcore(config.core, freq, ph, pd);
     const cpusim::CoreStats pstats = pcore.run(psource, perfect_opts);
-    perfect_cpi = pstats.cycles / static_cast<double>(pstats.scalar_instrs);
+    perfect_cpi = perfect_cpi_of(pstats);
   }
   MUSA_CHECK_MSG(stats.scalar_instrs > 0, "kernel produced no instructions");
 

@@ -101,6 +101,14 @@ struct PipelineOptions {
   double node_bw_efficiency = 0.63;       // usable fraction of peak DRAM BW
   netsim::NetworkConfig network;          // MareNostrum IV-like defaults
   std::uint64_t seed = 1;
+  /// Force the core model's retained single-step reference path instead of
+  /// the batched block replay. Results are bit-identical either way (the
+  /// equivalence property test proves it per core run; sweep_bench proves
+  /// it across the full space) — this knob exists so sweep_bench can
+  /// measure the block path's kernel-stage speedup against the reference.
+  /// Deliberately excluded from the options fingerprint: memoized stage
+  /// values do not depend on it.
+  bool single_step_core = false;
 };
 
 /// Fingerprint of every option a memoized stage value depends on (seed,

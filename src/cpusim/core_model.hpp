@@ -18,10 +18,17 @@
 // This class of model reproduces first-order microarchitectural sensitivity
 // (what a design-space sweep measures) at tens of millions of instructions
 // per second; it does not model wrong-path execution or fetch alignment.
+//
+// The replay hot loop is *batched* (DESIGN.md §7f): the fusion pass emits
+// SoA instruction blocks (isa::FusedBlock) and the scoreboard walks them in
+// a tight loop — one deadline poll and one fusion call per block instead of
+// per operation. A single-step reference path is retained (see
+// CoreRunOptions::single_step); both paths produce bit-identical CoreStats.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cachesim/hierarchy.hpp"
@@ -96,6 +103,75 @@ struct CoreRunOptions {
   /// cores stay within one quantum of each other, so shared memory-system
   /// state sees a coherent combined timeline.
   double max_cycle = 0.0;
+  /// Force the retained single-step reference path (one fusion.next() per
+  /// operation) instead of the batched block path. Both paths produce
+  /// bit-identical CoreStats — the block-vs-scalar equivalence property
+  /// test and sweep_bench's kernel_speedup measurement hang off this knob.
+  bool single_step = false;
+};
+
+/// Region-based stream prefetcher (one per core). Detects ascending
+/// line sequences within 2 MB regions and, once confident, streams the
+/// following lines from DRAM ahead of demand. Prefetched lines sit in a
+/// line-fill buffer: a later demand miss to one pays only the residual
+/// latency. This is what makes strided codes *bandwidth*-bound (OoO-
+/// insensitive, channel-sensitive) while irregular codes stay
+/// *latency*-bound — the distinction §V-B.3/§V-B.4 of the paper hinges on.
+///
+/// Public (not nested in CoreModel) so the stream-detector and FIFO
+/// compaction edge cases are unit-testable in isolation.
+struct StreamPrefetcher {
+  static constexpr int kDepth = 4;        // lines fetched ahead
+  static constexpr int kConfidence = 2;   // +1 steps before streaming
+  static constexpr std::size_t kMaxInflight = 8192;  // line-fill capacity
+  /// No miss observed yet in this region. Without the sentinel a fresh
+  /// region (zero-initialised last_line) would score a first miss on line 1
+  /// as a stream continuation of line 0.
+  static constexpr std::uint64_t kNoLine = ~0ull;
+  /// Dead-entry slack before the FIFO compacts (see admit()).
+  static constexpr std::size_t kCompactSlack = 64;
+
+  struct RegionState {
+    std::uint64_t last_line = kNoLine;
+    int confidence = 0;
+  };
+  struct Line {
+    double ready_ns = 0.0;
+    std::uint64_t seq = 0;  // insertion order, for exact FIFO eviction
+  };
+  // Both tables sit on the per-miss path: open-addressed flat storage
+  // (one cache line per probe, no per-insert allocation) instead of
+  // std::unordered_map node soup.
+  FlatTable64<RegionState> regions{1024};
+  FlatTable64<Line> inflight{kMaxInflight};  // line -> Line
+  // Insertion-order queue of (line, seq) used to find the oldest entry
+  // when the buffer overflows. Entries whose seq no longer matches the
+  // table (consumed and re-prefetched lines) are skipped as stale.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> fifo;
+  std::size_t fifo_head = 0;
+  std::uint64_t next_seq = 0;
+
+  /// Stream detection for a demand miss on `line`: an ascending-line miss
+  /// builds confidence, a jump resets it, and a *repeat* of the last-seen
+  /// line is neutral — a line re-missing after eviction says nothing about
+  /// the stream's direction, so it must not tear down an established
+  /// stream. Returns true once the region is confident enough to stream.
+  bool observe_miss(std::uint64_t line) {
+    RegionState& rs = regions.find_or_insert(line >> 15);
+    if (line != rs.last_line) {
+      rs.confidence = rs.last_line != kNoLine && line == rs.last_line + 1
+                          ? rs.confidence + 1
+                          : 0;
+      rs.last_line = line;
+    }
+    return rs.confidence >= kConfidence;
+  }
+
+  /// Record `line` as in flight (ready at `ready_ns`).
+  void admit(std::uint64_t line, double ready_ns);
+  /// Drop oldest entries until at most kMaxInflight remain; returns how
+  /// many live lines were evicted.
+  std::uint64_t evict_to_capacity();
 };
 
 class CoreModel {
@@ -107,59 +183,35 @@ class CoreModel {
             int core_id = 0);
 
   /// Consumes the whole source (through the fusion pass) and returns timing
-  /// plus activity statistics.
+  /// plus activity statistics. Runs the batched block path unless the
+  /// options demand single-step semantics (resumable quantum runs pull
+  /// exactly what they retire; the block path reads ahead).
   CoreStats run(trace::InstrSource& source, const CoreRunOptions& options);
 
  private:
-  /// Region-based stream prefetcher (one per core). Detects ascending
-  /// line sequences within 2 MB regions and, once confident, streams the
-  /// following lines from DRAM ahead of demand. Prefetched lines sit in a
-  /// line-fill buffer: a later demand miss to one pays only the residual
-  /// latency. This is what makes strided codes *bandwidth*-bound (OoO-
-  /// insensitive, channel-sensitive) while irregular codes stay
-  /// *latency*-bound — the distinction §V-B.3/§V-B.4 of the paper hinges on.
-  struct Prefetcher {
-    static constexpr int kDepth = 4;        // lines fetched ahead
-    static constexpr int kConfidence = 2;   // +1 steps before streaming
-    static constexpr std::size_t kMaxInflight = 8192;  // line-fill capacity
-    struct RegionState {
-      std::uint64_t last_line = 0;
-      int confidence = 0;
-    };
-    struct Line {
-      double ready_ns = 0.0;
-      std::uint64_t seq = 0;  // insertion order, for exact FIFO eviction
-    };
-    // Both tables sit on the per-miss path: open-addressed flat storage
-    // (one cache line per probe, no per-insert allocation) instead of
-    // std::unordered_map node soup.
-    FlatTable64<RegionState> regions{1024};
-    FlatTable64<Line> inflight{kMaxInflight};  // line -> Line
-    // Insertion-order queue of (line, seq) used to find the oldest entry
-    // when the buffer overflows. Entries whose seq no longer matches the
-    // table (consumed and re-prefetched lines) are skipped as stale.
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> fifo;
-    std::size_t fifo_head = 0;
-    std::uint64_t next_seq = 0;
+  /// Batched path: walks SoA fused-instruction blocks (isa::FusedBlock).
+  CoreStats run_blocked(trace::InstrSource& source,
+                        const CoreRunOptions& options);
+  /// Retained single-step reference path (and the only path implementing
+  /// max_scalar_instrs / max_cycle early exit).
+  CoreStats run_single_step(trace::InstrSource& source,
+                            const CoreRunOptions& options);
 
-    /// Record `line` as in flight (ready at `ready_ns`).
-    void admit(std::uint64_t line, double ready_ns);
-    /// Drop oldest entries until at most kMaxInflight remain; returns how
-    /// many live lines were evicted.
-    std::uint64_t evict_to_capacity();
-  };
+  /// Reset the per-run ring buffers / FU pools to `t0` without reallocating.
+  void reset_rings(double t0);
 
   double fu_acquire(std::vector<double>& pool, double ready, double busy);
-  /// Memory access for a fused op; returns load-to-use latency in cycles.
-  double mem_access(const isa::FusedInstr& op, double issue_cycle,
-                    bool is_write, CoreStats& stats);
+  /// Memory access for a fused op (`lanes` addresses `stride` bytes apart
+  /// starting at `addr`); returns load-to-use latency in cycles.
+  double mem_access(std::uint64_t addr, std::int64_t stride, int lanes,
+                    double issue_cycle, bool is_write, CoreStats& stats);
 
   CoreConfig config_;
   Frequency freq_;
   cachesim::MemHierarchy& hierarchy_;
   dramsim::DramSystem& dram_;
   int core_id_;
-  Prefetcher prefetcher_;
+  StreamPrefetcher prefetcher_;
   bool prefetch_enabled_ = true;
 
   // Per-run ring buffers, sized once at construction and reset (not
@@ -167,6 +219,10 @@ class CoreModel {
   // these were seven heap allocations on the sweep's hot path.
   std::vector<double> rob_release_, irf_release_, frf_release_, sb_release_;
   std::vector<double> alu_pool_, fpu_pool_, lsu_pool_;
+  // Scratch for mem_access: coalesced per-line representative addresses and
+  // their hierarchy outcomes (reused across calls, no per-op allocation).
+  std::vector<std::uint64_t> line_addrs_;
+  std::vector<cachesim::MemOutcome> line_outcomes_;
 };
 
 }  // namespace musa::cpusim

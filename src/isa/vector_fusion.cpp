@@ -96,10 +96,12 @@ bool VectorFusion::pop_ready(FusedInstr& out) {
 
 const Instr* VectorFusion::pull() {
   if (block_pos_ < block_len_) return &block_[block_pos_++];
-  block_len_ = source_.take_block(&block_);
-  if (block_len_ > 0) {
-    block_pos_ = 1;
-    return &block_[0];
+  if (bulk_pull_) {
+    block_len_ = source_.take_block(&block_, static_cast<std::size_t>(-1));
+    if (block_len_ > 0) {
+      block_pos_ = 1;
+      return &block_[0];
+    }
   }
   return source_.next(scratch_) ? &scratch_ : nullptr;
 }
@@ -178,6 +180,135 @@ bool VectorFusion::next(FusedInstr& out) {
       push_ready(full);
     }
   }
+}
+
+bool VectorFusion::next_block(FusedBlock& out) {
+  // Same state machine as next(), with emissions landing directly in the
+  // block's columns. Invariant at the top of each iteration: either ready_
+  // has queued ops (drained first, preserving completion order) or it is
+  // empty and the freshly produced op can be written straight to the block.
+  //
+  // The loop-carried state (instruction counters, stale deadline, source
+  // run cursor, ready-queue emptiness) lives in stack locals: the column
+  // stores into `out` could alias any member as far as the compiler can
+  // tell, so member-resident state would be reloaded after every emitted
+  // op. The locals sync with the members around the rare slow paths —
+  // source refill, stale flush, group emission — which are the only places
+  // the members are read or written by the helpers.
+  out.size = 0;
+  std::uint64_t in_instrs = stats_.in_instrs;
+  std::uint64_t out_instrs = stats_.out_instrs;
+  std::uint64_t deadline = front_deadline_;
+  const int tl = target_lanes_;
+  const Instr* run = block_ + block_pos_;
+  const Instr* run_end = block_ + block_len_;
+  bool have_ready = ready_head_ < ready_.size();
+
+  const auto sync_out = [&] {
+    stats_.in_instrs = in_instrs;
+    stats_.out_instrs = out_instrs;
+    block_pos_ = static_cast<std::size_t>(run - block_);
+  };
+
+  while (out.size < FusedBlock::kCapacity) {
+    if (have_ready) {
+      const FusedInstr& f = ready_[ready_head_++];
+      out.put(f.first, f.lanes, f.stride);
+      if (ready_head_ >= ready_.size()) {
+        ready_.clear();
+        ready_head_ = 0;
+        have_ready = false;
+      }
+      continue;
+    }
+
+    const Instr* pulled;
+    if (run < run_end) {
+      pulled = run++;
+    } else {
+      sync_out();
+      pulled = source_done_ ? nullptr : pull();
+      run = block_ + block_pos_;  // pull() may have refilled the bulk run
+      run_end = block_ + block_len_;
+      if (pulled == nullptr) {
+        // End of stream: drain remaining partial groups, oldest first.
+        source_done_ = true;
+        if (active_.empty()) break;
+        const std::uint32_t id = active_.front();
+        const Group* g = group_of(id, /*insert=*/false);
+        FusedInstr drained;
+        emit_group(*g, drained);
+        close_group(id, /*partial=*/g->count < tl);
+        out.put(drained.first, drained.lanes, drained.stride);
+        out_instrs = stats_.out_instrs;
+        deadline = front_deadline_;
+        continue;
+      }
+    }
+    const Instr& in = *pulled;
+    ++in_instrs;
+
+    if (in_instrs > deadline) {
+      sync_out();
+      flush_stale();
+      out_instrs = stats_.out_instrs;
+      deadline = front_deadline_;
+      have_ready = ready_head_ < ready_.size();
+    }
+
+    if (!in.vectorizable || tl <= 1) {
+      ++out_instrs;
+      if (!have_ready) {
+        out.put(in, /*n_lanes=*/1, /*s=*/0);
+        continue;
+      }
+      // Stale flushes completed "before" this instruction: queue it behind
+      // them so the next iterations emit everything in completion order.
+      FusedInstr scalar;
+      scalar.first = in;
+      scalar.lanes = 1;
+      scalar.stride = 0;
+      scalar.bytes = is_mem(in.op) ? in.size : 0;
+      push_ready(scalar);
+      continue;
+    }
+
+    Group& g = *group_of(in.static_id, /*insert=*/true);
+    if (g.count == 0) {
+      g.first = in;
+      g.count = 1;
+      g.stride = 0;
+      g.bytes = in.size;
+      g.started_at = in_instrs;
+      if (active_.empty()) {
+        front_deadline_ = g.started_at + max_distance_;
+        deadline = front_deadline_;
+      }
+      active_.push_back(in.static_id);
+    } else {
+      if (g.count == 1)
+        g.stride = static_cast<std::int64_t>(in.addr) -
+                   static_cast<std::int64_t>(g.first.addr);
+      ++g.count;
+      g.bytes += in.size;
+    }
+
+    if (g.count >= tl) {
+      FusedInstr full;
+      stats_.out_instrs = out_instrs;  // emit_group counts the emission
+      emit_group(g, full);
+      close_group(in.static_id, /*partial=*/false);
+      out_instrs = stats_.out_instrs;
+      deadline = front_deadline_;
+      if (!have_ready) {
+        out.put(full.first, full.lanes, full.stride);
+        continue;
+      }
+      push_ready(full);
+    }
+  }
+  sync_out();
+  return out.size > 0;
 }
 
 }  // namespace musa::isa

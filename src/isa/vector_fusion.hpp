@@ -19,6 +19,7 @@
 //    do not), which models the bandwidth cost the paper accounts for.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -37,6 +38,35 @@ struct FusedInstr {
   std::uint16_t lanes = 1;    // how many scalar lanes were fused
   std::int64_t stride = 0;    // address stride between consecutive lanes
   std::uint32_t bytes = 0;    // total bytes touched (mem ops only)
+};
+
+/// A fixed-size batch of fused operations in structure-of-arrays layout —
+/// exactly the fields the core timing model reads, one preallocated column
+/// each (DESIGN.md §7f). The scoreboard walks columns sequentially instead
+/// of paying a next(FusedInstr&) call and a 40-byte struct copy per op;
+/// emission order within and across blocks is identical to next().
+struct FusedBlock {
+  static constexpr std::size_t kCapacity = 256;
+
+  std::size_t size = 0;
+  std::array<OpClass, kCapacity> cls;
+  std::array<std::uint8_t, kCapacity> dst;
+  std::array<std::uint8_t, kCapacity> src1;
+  std::array<std::uint8_t, kCapacity> src2;
+  std::array<std::uint16_t, kCapacity> lanes;
+  std::array<std::uint64_t, kCapacity> addr;
+  std::array<std::int64_t, kCapacity> stride;
+
+  void put(const Instr& first, std::uint16_t n_lanes, std::int64_t s) {
+    cls[size] = first.op;
+    dst[size] = first.dst;
+    src1[size] = first.src1;
+    src2[size] = first.src2;
+    lanes[size] = n_lanes;
+    addr[size] = first.addr;
+    stride[size] = s;
+    ++size;
+  }
 };
 
 struct FusionStats {
@@ -59,8 +89,21 @@ class VectorFusion {
   /// Next fused operation; false at end of stream (all groups flushed).
   bool next(FusedInstr& out);
 
+  /// Fills `out` with up to FusedBlock::kCapacity fused operations — the
+  /// same operations, in the same order, that repeated next() calls would
+  /// produce (statistics update identically too). Returns false only when
+  /// the stream is exhausted (out.size == 0).
+  bool next_block(FusedBlock& out);
+
   const FusionStats& stats() const { return stats_; }
   int target_lanes() const { return target_lanes_; }
+
+  /// Disable bulk source pulls (take_block). A consumer that can stop early
+  /// and later resume the *same* source (time-quantum core runs) must not
+  /// read ahead of what it retires — instructions handed out in bulk but
+  /// left unconsumed at the stop point would be lost. Call before the first
+  /// next()/next_block().
+  void disable_bulk_pull() { bulk_pull_ = false; }
 
   /// Groups older than this many consumed instructions are flushed partial.
   /// Models the "executed several times in a row" requirement: a loop whose
@@ -117,6 +160,7 @@ class VectorFusion {
   Instr scratch_;                       // pull() landing slot for next()
   FusionStats stats_;
   bool source_done_ = false;
+  bool bulk_pull_ = true;
 };
 
 }  // namespace musa::isa

@@ -7,6 +7,7 @@
 // the property the methodology relies on to amortise tracing cost.
 #pragma once
 
+#include <algorithm>
 #include <vector>
 
 #include "isa/instr.hpp"
@@ -23,13 +24,17 @@ class InstrSource {
   /// Rewinds to the beginning of the stream (must replay identically).
   virtual void reset() = 0;
 
-  /// Bulk read: hands out a contiguous run of upcoming instructions and
-  /// marks them consumed, or returns 0 if this source cannot (generators).
-  /// Consumers fall back to next() — behaviour is identical either way;
-  /// in-memory sources just skip the virtual call per instruction, which
-  /// matters on the memoized-sweep replay path (core/stage_memo.hpp) where
-  /// every design point re-walks the same materialized stream.
-  virtual std::size_t take_block(const isa::Instr** out) {
+  /// Bulk read: hands out a contiguous run of at most `max_n` upcoming
+  /// instructions and marks them consumed, or returns 0 if this source
+  /// cannot (or is exhausted). Consumers fall back to next() — behaviour is
+  /// identical either way; in-memory sources just skip the virtual call per
+  /// instruction, which matters on the memoized-sweep replay path
+  /// (core/stage_memo.hpp) where every design point re-walks the same
+  /// materialized stream. The cap lets a consumer stop at an exact
+  /// instruction count (functional warm-up must leave the source positioned
+  /// precisely where the measured run begins).
+  virtual std::size_t take_block(const isa::Instr** out,
+                                 std::size_t /*max_n*/) {
     *out = nullptr;
     return 0;
   }
@@ -49,10 +54,10 @@ class VectorSource final : public InstrSource {
 
   void reset() override { pos_ = 0; }
 
-  std::size_t take_block(const isa::Instr** out) override {
-    const std::size_t n = instrs_.size() - pos_;
+  std::size_t take_block(const isa::Instr** out, std::size_t max_n) override {
+    const std::size_t n = std::min(instrs_.size() - pos_, max_n);
     *out = n > 0 ? instrs_.data() + pos_ : nullptr;
-    pos_ = instrs_.size();
+    pos_ += n;
     return n;
   }
 
@@ -82,10 +87,10 @@ class SpanSource final : public InstrSource {
 
   void reset() override { pos_ = begin_; }
 
-  std::size_t take_block(const isa::Instr** out) override {
-    const std::size_t n = instrs_->size() - pos_;
+  std::size_t take_block(const isa::Instr** out, std::size_t max_n) override {
+    const std::size_t n = std::min(instrs_->size() - pos_, max_n);
     *out = n > 0 ? instrs_->data() + pos_ : nullptr;
-    pos_ = instrs_->size();
+    pos_ += n;
     return n;
   }
 

@@ -60,6 +60,26 @@ bool KernelSource::next(isa::Instr& out) {
   return true;
 }
 
+std::size_t KernelSource::take_block(const isa::Instr** out,
+                                     std::size_t max_n) {
+  if (buf_pos_ >= buffer_.size()) {
+    if (emitted_ >= budget_) {
+      *out = nullptr;
+      return 0;
+    }
+    refill();
+    if (buffer_.empty()) {
+      *out = nullptr;
+      return 0;
+    }
+  }
+  const std::size_t n = std::min(buffer_.size() - buf_pos_, max_n);
+  *out = buffer_.data() + buf_pos_;
+  buf_pos_ += n;
+  emitted_ += n;
+  return n;
+}
+
 std::uint64_t KernelSource::stream_addr(std::size_t stream_idx,
                                         bool& /*is_write*/) {
   const StreamDesc& s = profile_.streams[stream_idx];

@@ -100,6 +100,11 @@ class KernelSource final : public InstrSource {
 
   bool next(isa::Instr& out) override;
   void reset() override;
+  /// Hands out the generated buffer in bulk (at most `max_n` at a time).
+  /// The budget check stays at the refill boundary exactly as in next() —
+  /// streams round up to whole outer iterations either way, so mixing
+  /// next() and take_block() consumers sees the same instruction sequence.
+  std::size_t take_block(const isa::Instr** out, std::size_t max_n) override;
 
   const KernelProfile& profile() const { return profile_; }
 

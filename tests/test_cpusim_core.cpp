@@ -282,5 +282,168 @@ TEST_P(PresetOrdering, LowEndNeverBeatsAggressive) {
 INSTANTIATE_TEST_SUITE_P(IlpLevels, PresetOrdering,
                          ::testing::Values(1, 2, 4, 8));
 
+// ---- Stream-prefetcher unit tests (detector and FIFO edge cases) ---------
+
+TEST(StreamPrefetcher, SameLineRepeatMissKeepsConfidence) {
+  StreamPrefetcher pf;
+  EXPECT_FALSE(pf.observe_miss(100));
+  EXPECT_FALSE(pf.observe_miss(101));
+  EXPECT_TRUE(pf.observe_miss(102));  // ascending run: stream established
+  // The same line missing again (evicted and re-fetched between demands)
+  // says nothing about the stream's direction — it used to zero the
+  // confidence and tear down an established stream.
+  EXPECT_TRUE(pf.observe_miss(102));
+  EXPECT_TRUE(pf.observe_miss(103));  // the stream keeps going
+}
+
+TEST(StreamPrefetcher, FreshRegionNeedsARealAscendingRun) {
+  StreamPrefetcher pf;
+  // First-ever misses on lines 1 and 2 of a region: a zero-initialised
+  // last_line scored line 1 as continuing a phantom stream from line 0,
+  // reaching confidence one miss early. With the kNoLine sentinel a fresh
+  // region needs a full three-miss ascending run like any other.
+  EXPECT_FALSE(pf.observe_miss(1));
+  EXPECT_FALSE(pf.observe_miss(2));
+  EXPECT_TRUE(pf.observe_miss(3));
+}
+
+TEST(StreamPrefetcher, FifoCompactionBoundsMemoryUnderChurn) {
+  // Admit-then-consume churn: every fifo entry goes dead immediately and
+  // the inflight table never overflows, so the old head-past-capacity
+  // predicate never fired and the dead prefix grew without bound. The
+  // dead-fraction predicate must hold the bound at every step.
+  StreamPrefetcher pf;
+  for (std::uint64_t i = 0; i < 200'000; ++i) {
+    pf.admit(i, 0.0);
+    ASSERT_LE(pf.fifo.size(),
+              2 * (pf.inflight.size() + StreamPrefetcher::kCompactSlack));
+    pf.inflight.erase(i);  // demand access consumes the line right away
+  }
+  EXPECT_EQ(pf.inflight.size(), 0u);
+}
+
+TEST(StreamPrefetcher, CompactionPreservesLiveEntriesInOrder) {
+  StreamPrefetcher pf;
+  // A handful of long-lived lines, then heavy short-lived churn that
+  // triggers compaction many times over.
+  for (std::uint64_t i = 0; i < 8; ++i) pf.admit(1'000'000 + i, 1.0);
+  for (std::uint64_t i = 0; i < 50'000; ++i) {
+    pf.admit(i, 0.0);
+    ASSERT_LE(pf.fifo.size(),
+              2 * (pf.inflight.size() + StreamPrefetcher::kCompactSlack));
+    pf.inflight.erase(i);
+  }
+  // The live lines survived every compaction, still in admission order.
+  std::vector<std::uint64_t> live;
+  for (std::size_t i = pf.fifo_head; i < pf.fifo.size(); ++i) {
+    const auto* e = pf.inflight.find(pf.fifo[i].first);
+    if (e != nullptr && e->seq == pf.fifo[i].second)
+      live.push_back(pf.fifo[i].first);
+  }
+  ASSERT_EQ(live.size(), 8u);
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(live[i], 1'000'000 + i);
+}
+
+// ---- Block-vs-scalar replay equivalence ----------------------------------
+
+void expect_identical_stats(const CoreStats& a, const CoreStats& b) {
+  EXPECT_EQ(a.cycles, b.cycles);  // bit-identical, not approximately equal
+  EXPECT_EQ(a.fused_ops, b.fused_ops);
+  EXPECT_EQ(a.scalar_instrs, b.scalar_instrs);
+  for (int c = 0; c < isa::kNumOpClasses; ++c) {
+    EXPECT_EQ(a.class_ops[c], b.class_ops[c]);
+    EXPECT_EQ(a.class_lanes[c], b.class_lanes[c]);
+  }
+  EXPECT_EQ(a.l1_accesses, b.l1_accesses);
+  EXPECT_EQ(a.l1_misses, b.l1_misses);
+  EXPECT_EQ(a.l2_accesses, b.l2_accesses);
+  EXPECT_EQ(a.l2_misses, b.l2_misses);
+  EXPECT_EQ(a.l3_accesses, b.l3_accesses);
+  EXPECT_EQ(a.l3_misses, b.l3_misses);
+  EXPECT_EQ(a.dram_reads, b.dram_reads);
+  EXPECT_EQ(a.dram_writes, b.dram_writes);
+  EXPECT_EQ(a.pf_evictions, b.pf_evictions);
+  EXPECT_EQ(a.dram.acts, b.dram.acts);
+  EXPECT_EQ(a.dram.pres, b.dram.pres);
+  EXPECT_EQ(a.dram.reads, b.dram.reads);
+  EXPECT_EQ(a.dram.writes, b.dram.writes);
+  EXPECT_EQ(a.dram.refreshes, b.dram.refreshes);
+}
+
+TEST(CoreModel, BlockAndSingleStepPathsAreBitIdentical) {
+  // Property: for random (core config, kernel profile, seed) triples the
+  // batched block path must produce bit-identical CoreStats to the
+  // retained single-step reference path — the 24-point bench must not be
+  // the only equivalence oracle.
+  Rng rng(0xb10c);
+  const std::vector<CoreConfig> presets = core_presets();
+  for (int trial = 0; trial < 50; ++trial) {
+    trace::KernelProfile p;
+    p.vec_body = {.loads = static_cast<int>(rng.next_below(3)),
+                  .fp_add = static_cast<int>(rng.next_below(3)),
+                  .fp_mul = static_cast<int>(rng.next_below(3)),
+                  .stores = static_cast<int>(rng.next_below(2))};
+    p.vec_trip = static_cast<int>(rng.next_below(40));
+    p.scalar_tail = {
+        .int_alu = 1 + static_cast<int>(rng.next_below(6)),
+        .fp_add = static_cast<int>(rng.next_below(4)),
+        .fp_div = static_cast<int>(rng.next_below(2)),
+        .loads = static_cast<int>(rng.next_below(6)),
+        .stores = static_cast<int>(rng.next_below(3)),
+        .branches = 1};
+    p.ilp_chains = 1 + static_cast<int>(rng.next_below(8));
+    p.load_use_prob = rng.next_double();
+    const std::int64_t strides[] = {0, 8, 64, 4096};
+    p.streams = {{.share = 1.0,
+                  .ws_bytes = 64 * 1024ull << rng.next_below(7),
+                  .stride = strides[rng.next_below(4)],
+                  .dependent = rng.bernoulli(0.3)}};
+    const int bits = 64 << rng.next_below(4);  // 64 .. 512
+    const std::uint64_t seed = rng.next_u64();
+    const CoreConfig& cfg = presets[rng.next_below(presets.size())];
+
+    auto run_path = [&](bool single_step) {
+      TestRig rig;
+      trace::KernelSource src(p, 6000, seed);
+      CoreModel core(cfg, {2.0}, rig.hierarchy, rig.dram);
+      return core.run(src,
+                      {.vector_bits = bits, .single_step = single_step});
+    };
+    const CoreStats blocked = run_path(false);
+    const CoreStats reference = run_path(true);
+    expect_identical_stats(blocked, reference);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "diverged at trial " << trial << " (vector_bits="
+                    << bits << ", seed=" << seed << ")";
+      break;
+    }
+  }
+}
+
+TEST(CoreModel, PfEvictionsUnchangedAcrossReplayPaths) {
+  // The eviction-heavy workload of PrefetcherEvictsOldestInsteadOfClearing:
+  // the stream-detector fixes and the batched path must not shift the
+  // pf_evictions accounting between the two replay paths.
+  std::vector<isa::Instr> instrs;
+  for (int r = 0; r < 4000; ++r) {
+    const std::uint64_t base = static_cast<std::uint64_t>(r) * (2ull << 20);
+    for (int i = 0; i < 4; ++i) {
+      isa::Instr in;
+      in.op = isa::OpClass::kLoad;
+      in.dst = static_cast<std::uint8_t>(isa::kFpRegBase + (i % 12));
+      in.addr = base + static_cast<std::uint64_t>(i) * 64;
+      in.size = 8;
+      instrs.push_back(in);
+    }
+  }
+  TestRig rig_blocked, rig_reference;
+  const CoreStats blocked =
+      run_instrs(instrs, core_medium(), rig_blocked, {});
+  const CoreStats reference =
+      run_instrs(instrs, core_medium(), rig_reference, {.single_step = true});
+  EXPECT_GT(blocked.pf_evictions, 0u);
+  EXPECT_EQ(blocked.pf_evictions, reference.pf_evictions);
+}
+
 }  // namespace
 }  // namespace musa::cpusim

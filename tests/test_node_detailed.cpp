@@ -3,8 +3,11 @@
 // must land in the same ballpark.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "apps/apps.hpp"
 #include "common/check.hpp"
+#include "core/pipeline.hpp"
 #include "cpusim/node_detailed.hpp"
 
 namespace musa::cpusim {
@@ -84,6 +87,23 @@ TEST(NodeDetailed, ComputeBoundKernelsInterfereLessThanMemoryBound) {
 TEST(NodeDetailed, RejectsDegenerateConfig) {
   NodeDetailedConfig c = small_node(0);
   EXPECT_THROW(run_node_detailed(scaled_kernel("hydro"), c), SimError);
+}
+
+TEST(PipelineKernel, TinyMeasureSliceStaysFinite) {
+  // measure_instrs < 4 used to truncate the perfect-memory slice to zero
+  // instructions: the stall-attribution CPI divided by a zero instruction
+  // count and the NaN propagated silently into every derived metric. The
+  // slice is now clamped to at least one instruction and an empty perfect
+  // run raises a config error naming the point instead of emitting NaN.
+  core::PipelineOptions opts;
+  opts.warm_instrs = 0;
+  opts.measure_instrs = 2;
+  core::Pipeline pipe(opts);
+  const auto r = pipe.run(apps::find_app("hydro"), core::MachineConfig{});
+  EXPECT_TRUE(std::isfinite(r.ipc));
+  EXPECT_GT(r.ipc, 0.0);
+  ASSERT_TRUE(std::isfinite(r.region_seconds));
+  EXPECT_GT(r.region_seconds, 0.0);
 }
 
 }  // namespace
