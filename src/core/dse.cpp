@@ -21,6 +21,7 @@
 #include "verify/config_rules.hpp"
 #include "verify/faultpoint.hpp"
 #include "verify/invariants.hpp"
+#include "verify/space_analysis.hpp"
 
 namespace musa::core {
 
@@ -168,8 +169,42 @@ DseEngine::Plan DseEngine::make_plan() const {
     for (const auto& name : options_.apps)
       plan.app_list.push_back(&apps::find_app(name));
   }
-  plan.configs =
-      options_.configs.empty() ? ConfigSpace::full_space() : options_.configs;
+  if (options_.configs.empty() && options_.axes.has_value()) {
+    const SpaceAxes& axes = *options_.axes;
+    if (options_.verify) {
+      // Static space analysis instead of per-point lint: classify the grid
+      // box-wise, drop infeasible boxes wholesale, and enumerate only the
+      // feasible points — in row-major grid order, so the paper axes
+      // reproduce the full_space() plan (and its cache keys) exactly.
+      const verify::AnalysisReport analysis = verify::analyze(axes);
+      plan.configs.reserve(
+          static_cast<std::size_t>(analysis.feasible_points));
+      for (std::uint64_t linear : verify::feasible_indices(axes, analysis))
+        plan.configs.push_back(axes.config_at(linear));
+      plan.statically_verified = true;
+      plan.statically_skipped =
+          analysis.total_points - analysis.feasible_points;
+      plan.analysis_boxes = analysis.boxes_classified;
+      if (options_.verbose && plan.statically_skipped > 0)
+        std::fprintf(
+            stderr,
+            "[dse] static space analysis: %llu of %llu grid point(s) "
+            "infeasible, skipped without simulation (%llu boxes)\n",
+            static_cast<unsigned long long>(analysis.total_points -
+                                            analysis.feasible_points),
+            static_cast<unsigned long long>(analysis.total_points),
+            static_cast<unsigned long long>(analysis.boxes_classified));
+    } else {
+      // --no-verify: the grid description still defines the plan; every
+      // point is swept unlinted, feasible or not.
+      plan.configs.reserve(static_cast<std::size_t>(axes.points()));
+      for (std::uint64_t linear = 0; linear < axes.points(); ++linear)
+        plan.configs.push_back(axes.config_at(linear));
+    }
+  } else {
+    plan.configs =
+        options_.configs.empty() ? ConfigSpace::full_space() : options_.configs;
+  }
   MUSA_CHECK_MSG(!plan.app_list.empty() && !plan.configs.empty(),
                  "empty sweep plan");
   plan.keys.reserve(plan.app_list.size() * plan.configs.size());
@@ -272,9 +307,13 @@ SweepReport DseEngine::sweep(bool force) {
   const Plan plan = make_plan();
   // Static config lint before any point simulates: a physically impossible
   // sweep point must fail here, in milliseconds, not hours into the sweep.
-  if (options_.verify)
+  // An analyzer-built plan skips the loop: its boxes are *proved* feasible,
+  // so the per-point pass would re-derive what is already established.
+  if (options_.verify && !plan.statically_verified)
     for (const auto& config : plan.configs) verify::validate_machine(config);
   SweepReport rep;
+  rep.statically_skipped = plan.statically_skipped;
+  rep.analysis_boxes = plan.analysis_boxes;
   rep.total = plan.size();
   for (std::uint64_t i = 0; i < plan.size(); ++i)
     if (i % options_.shard_count ==

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -126,6 +127,20 @@ struct SweepOptions {
   /// (empty → ConfigSpace::full_space() / every registry app).
   std::vector<MachineConfig> configs;
   std::vector<std::string> apps;
+
+  /// Grid description of the config plan. When set (and `configs` is
+  /// empty), plan construction runs the static space analyzer
+  /// (verify/space_analysis.hpp) instead of linting per point: the grid is
+  /// partitioned into feasible/infeasible boxes in O(boxes · rules),
+  /// statically-infeasible boxes are excluded from the plan wholesale
+  /// (SweepReport::statically_skipped counts their points), and the
+  /// surviving points skip the per-point lint entirely — their boxes are
+  /// *proved* feasible. Plan order is the grid's row-major enumeration, so
+  /// SpaceAxes::paper() reproduces the ConfigSpace::full_space() plan (and
+  /// cache) exactly. When `verify` is off the analyzer does not run (it
+  /// exists to enforce the rules): the described grid is swept in full,
+  /// every point unlinted.
+  std::optional<SpaceAxes> axes;
 };
 
 /// One quarantined sweep point, for the post-sweep report.
@@ -147,6 +162,9 @@ struct SweepReport {
   std::uint64_t invalid = 0;       // loaded rows failing invariant checks
   std::uint64_t quarantined = 0;   // points with a FAIL row after this call
   std::uint64_t retries = 0;       // extra attempts spent on io-class errors
+  std::uint64_t statically_skipped = 0;  // grid points excluded by the
+                                         // static space analyzer
+  std::uint64_t analysis_boxes = 0;      // boxes the analyzer classified
   bool finalized = false;          // cache CSV written (plan fully covered)
   int workers = 0;                 // worker threads the compute phase used
   double wall_s = 0.0;             // wall time of the compute phase
@@ -234,6 +252,9 @@ class DseEngine {
     std::vector<const apps::AppModel*> app_list;
     std::vector<MachineConfig> configs;
     std::vector<std::string> keys;  // point_key per plan index
+    bool statically_verified = false;  // configs proved feasible box-wise
+    std::uint64_t statically_skipped = 0;  // grid points the analyzer cut
+    std::uint64_t analysis_boxes = 0;      // boxes it classified doing so
 
     std::uint64_t size() const { return keys.size(); }
     const apps::AppModel& app_of(std::uint64_t i) const {

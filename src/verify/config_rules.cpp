@@ -237,6 +237,22 @@ const RuleSet<core::MachineConfig>& machine_rules() {
   return rules;
 }
 
+const std::vector<std::string>& machine_rule_ids() {
+  static const std::vector<std::string> ids = [] {
+    std::vector<std::string> out;
+    for (const auto& r : machine_rules().rules()) out.push_back(r.id);
+    for (const auto& r : core_rules().rules()) out.push_back(r.id);
+    // Label resolution precedes hierarchy evaluation: an unresolvable
+    // cache label is reported as "cache.label" *instead of* the cache.*
+    // rules, so it sits before them in the catalogue.
+    out.emplace_back("cache.label");
+    for (const auto& r : hierarchy_rules().rules()) out.push_back(r.id);
+    for (const auto& r : dram_rules().rules()) out.push_back(r.id);
+    return out;
+  }();
+  return ids;
+}
+
 std::vector<Violation> check_machine(const core::MachineConfig& config) {
   const std::string subject = config.id();
   std::vector<Violation> out = machine_rules().check(config, subject);

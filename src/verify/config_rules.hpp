@@ -38,6 +38,14 @@ const RuleSet<core::MachineConfig>& machine_rules();
 /// label or memory tech is itself reported as a violation.
 std::vector<Violation> check_machine(const core::MachineConfig& config);
 
+/// The stable machine-readable catalogue of every rule id check_machine()
+/// can emit, in its emission order (machine, core, cache.label, cache.*,
+/// dram.*). This is the shared vocabulary between pointwise lint reports
+/// and the static analyzer's per-rule kill counts: both key on these ids,
+/// so the two reports are directly diffable. Ids are unique, lowercase,
+/// dotted (asserted by test_space_analysis).
+const std::vector<std::string>& machine_rule_ids();
+
 /// Throws SimError naming the config id if check_machine() finds anything.
 void validate_machine(const core::MachineConfig& config);
 
