@@ -11,6 +11,9 @@ endfunction()
 musa_add_bench(run_dse)
 musa_add_bench(dse_lint)
 musa_add_bench(sweep_bench)
+# The sweep drivers speak to the elastic controller/worker library too.
+target_link_libraries(run_dse PRIVATE musa_sweep)
+target_link_libraries(sweep_bench PRIVATE musa_sweep)
 musa_add_bench(ablation_model)
 musa_add_bench(power_report)
 musa_add_bench(dse_report)

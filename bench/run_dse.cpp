@@ -25,12 +25,26 @@
 // (default `<cache>.metrics.json` when tracing) writes the flat metric
 // snapshot, and a one-screen summary table prints at exit.
 //
-// Usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]
-//                [--bench] [--strict] [--retry-failed] [--timeout S]
-//                [--inject SPEC] [--trace-out PATH] [--metrics-out PATH]
-//                [--help]
+// Elastic sweeps (DESIGN.md §7h): `--workers N` replaces the manual
+// shard-and-merge recipe with a controller that forks N worker processes,
+// leases them bounded point chunks, and revokes/re-leases on death, hang,
+// or straggle. Chunks commit only on durable journal coverage, so kill -9
+// of any worker at any time still converges to the byte-identical cache.
+//
+// Usage: run_dse [--force] [--shard i/N] [--workers N] [--lease-points K]
+//                [--heartbeat-ms MS] [--straggler-factor F] [--no-verify]
+//                [--no-memo] [--bench] [--strict] [--retry-failed]
+//                [--timeout S] [--inject SPEC] [--trace-out PATH]
+//                [--metrics-out PATH] [--help]
 //   --force        discard the cache and all journals, then sweep fresh
 //   --shard i/N    compute only points with index % N == i (0 <= i < N)
+//   --workers N    elastic sweep with N forked worker processes; excludes
+//                  --shard and --strict, needs a cache path. N=1 runs the
+//                  plain in-process sweep
+//   --lease-points K  points per leased chunk (default 8)
+//   --heartbeat-ms MS worker heartbeat interval (default 250)
+//   --straggler-factor F  revoke leases older than F x the median
+//                  committed-chunk time (default 4)
 //   --no-verify    skip config lint and result-invariant enforcement
 //                  (src/verify); for performance experiments only —
 //                  `dse_lint` can re-check the cache afterwards
@@ -60,6 +74,7 @@
 // Exit codes: 0 success, 1 strict-mode abort, 2 bad usage, 3 sweep
 // completed with quarantined points.
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -73,17 +88,28 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "sweep/controller.hpp"
 #include "verify/faultpoint.hpp"
 
 namespace {
 
 constexpr const char* kUsage =
-    "usage: run_dse [--force] [--shard i/N] [--no-verify] [--no-memo]\n"
-    "               [--bench] [--strict] [--retry-failed] [--timeout S]\n"
-    "               [--inject SPEC] [--trace-out PATH] [--metrics-out PATH]\n"
-    "               [--help]\n"
+    "usage: run_dse [--force] [--shard i/N] [--workers N] [--lease-points K]\n"
+    "               [--heartbeat-ms MS] [--straggler-factor F] [--no-verify]\n"
+    "               [--no-memo] [--bench] [--strict] [--retry-failed]\n"
+    "               [--timeout S] [--inject SPEC] [--trace-out PATH]\n"
+    "               [--metrics-out PATH] [--help]\n"
     "  --force         discard the cache and all journals, sweep fresh\n"
     "  --shard i/N     compute only points with index %% N == i\n"
+    "  --workers N     elastic sweep: fork N worker processes, lease them\n"
+    "                  bounded point chunks, revoke + re-lease on death,\n"
+    "                  hang, or straggle (DESIGN.md §7h). Excludes --shard\n"
+    "                  and --strict; needs a cache path. N=1 runs the plain\n"
+    "                  in-process sweep\n"
+    "  --lease-points K   points per leased chunk (default 8)\n"
+    "  --heartbeat-ms MS  worker heartbeat interval (default 250)\n"
+    "  --straggler-factor F  revoke leases older than F x the median\n"
+    "                  committed-chunk time (default 4)\n"
     "  --no-verify     skip config lint and result-invariant enforcement\n"
     "  --no-memo       disable the shared cross-point stage memo\n"
     "  --bench         sweep the fixed 24-point bench space\n"
@@ -103,13 +129,61 @@ constexpr const char* kUsage =
     "exit codes: 0 success, 1 strict-mode abort, 2 bad usage, 3 sweep\n"
     "completed with quarantined points\n";
 
-bool parse_shard(const char* spec, musa::core::SweepOptions* opts) {
-  int i = 0, n = 0;
-  if (std::sscanf(spec, "%d/%d", &i, &n) != 2 || n < 1 || i < 0 || i >= n)
-    return false;
-  opts->shard_index = i;
-  opts->shard_count = n;
+/// Strict non-negative decimal parse: the whole string must be digits.
+/// sscanf-style parsing accepted "1/2x" and "0x1/2"; a sharded sweep run
+/// from a typo silently computes the wrong slice of the space, so flag
+/// values that are not pure numbers must die with exit 2 instead.
+bool parse_uint(const char* s, long* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < 0) return false;
+  *out = v;
   return true;
+}
+
+bool parse_positive(const char* s, double* out) {
+  if (s == nullptr || *s == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0' || !(v > 0.0)) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_shard(const char* spec, musa::core::SweepOptions* opts) {
+  const char* slash = std::strchr(spec, '/');
+  if (slash == nullptr) return false;
+  const std::string index_part(spec, slash);
+  long i = 0, n = 0;
+  if (!parse_uint(index_part.c_str(), &i) || !parse_uint(slash + 1, &n))
+    return false;
+  if (n < 1 || i >= n) return false;
+  opts->shard_index = static_cast<int>(i);
+  opts->shard_count = static_cast<int>(n);
+  return true;
+}
+
+void print_elastic(const musa::sweep::ElasticReport& er) {
+  std::printf("elastic phase: %llu point(s) in %d chunk(s), %llu key(s) "
+              "resolved in %s\n",
+              static_cast<unsigned long long>(er.points), er.chunks,
+              static_cast<unsigned long long>(er.resolved),
+              musa::format_duration(er.wall_s).c_str());
+  if (er.spawned > 0)
+    std::printf("  workers: %d forked (%d respawn(s)), %d died, %d killed "
+                "stale\n",
+                er.spawned, er.respawns, er.deaths, er.killed);
+  if (er.revocations > 0 || er.inprocess_chunks > 0)
+    std::printf("  leases: %d revoked (%d straggler(s)); %d chunk(s) "
+                "finished in-process by the controller\n",
+                er.revocations, er.stragglers, er.inprocess_chunks);
+  if (er.tail_dropped > 0)
+    std::printf("  tailers dropped %llu corrupt worker record(s) "
+                "(recomputed elsewhere)\n",
+                static_cast<unsigned long long>(er.tail_dropped));
 }
 
 void print_report(const musa::core::SweepReport& rep) {
@@ -262,6 +336,9 @@ int main(int argc, char** argv) {
   std::string trace_out;
   std::string metrics_out;
   core::SweepOptions opts;
+  sweep::ElasticOptions elastic;
+  bool workers_flag = false;   // --workers given (any N)
+  bool elastic_tuning = false; // a lease/heartbeat/straggler knob given
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--force") == 0) {
       force = true;
@@ -283,22 +360,88 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[a], "--retry-failed") == 0) {
       opts.retry_failed = true;
     } else if (std::strcmp(argv[a], "--timeout") == 0 && a + 1 < argc) {
-      opts.point_timeout_s = std::atof(argv[++a]);
-      if (opts.point_timeout_s <= 0.0) {
-        std::fprintf(stderr, "bad --timeout (want seconds > 0)\n");
+      if (!parse_positive(argv[++a], &opts.point_timeout_s)) {
+        std::fprintf(stderr, "bad --timeout '%s' (want seconds > 0)\n%s",
+                     argv[a], kUsage);
         return 2;
       }
     } else if (std::strcmp(argv[a], "--inject") == 0 && a + 1 < argc) {
       inject_spec = argv[++a];
     } else if (std::strcmp(argv[a], "--shard") == 0 && a + 1 < argc) {
       if (!parse_shard(argv[++a], &opts)) {
-        std::fprintf(stderr, "bad --shard spec (want i/N with 0 <= i < N)\n");
+        std::fprintf(stderr,
+                     "bad --shard spec '%s' (want decimal i/N with "
+                     "0 <= i < N)\n%s",
+                     argv[a], kUsage);
         return 2;
       }
+    } else if (std::strcmp(argv[a], "--workers") == 0 && a + 1 < argc) {
+      long n = 0;
+      if (!parse_uint(argv[++a], &n) || n < 1) {
+        std::fprintf(stderr, "bad --workers '%s' (want an integer >= 1)\n%s",
+                     argv[a], kUsage);
+        return 2;
+      }
+      elastic.workers = static_cast<int>(n);
+      workers_flag = true;
+    } else if (std::strcmp(argv[a], "--lease-points") == 0 && a + 1 < argc) {
+      long k = 0;
+      if (!parse_uint(argv[++a], &k) || k < 1) {
+        std::fprintf(stderr,
+                     "bad --lease-points '%s' (want an integer >= 1)\n%s",
+                     argv[a], kUsage);
+        return 2;
+      }
+      elastic.lease_points = static_cast<int>(k);
+      elastic_tuning = true;
+    } else if (std::strcmp(argv[a], "--heartbeat-ms") == 0 && a + 1 < argc) {
+      double ms = 0.0;
+      if (!parse_positive(argv[++a], &ms)) {
+        std::fprintf(stderr,
+                     "bad --heartbeat-ms '%s' (want milliseconds > 0)\n%s",
+                     argv[a], kUsage);
+        return 2;
+      }
+      elastic.heartbeat_s = ms / 1e3;
+      elastic_tuning = true;
+    } else if (std::strcmp(argv[a], "--straggler-factor") == 0 &&
+               a + 1 < argc) {
+      if (!parse_positive(argv[++a], &elastic.straggler_factor)) {
+        std::fprintf(stderr,
+                     "bad --straggler-factor '%s' (want a factor > 0)\n%s",
+                     argv[a], kUsage);
+        return 2;
+      }
+      elastic_tuning = true;
     } else {
       std::fprintf(stderr, "%s", kUsage);
       return 2;
     }
+  }
+
+  // Flag-combination validation, all exit 2: the elastic controller owns
+  // the whole plan (no --shard), and containment is load-bearing for its
+  // convergence argument (a --strict worker that aborted on the first
+  // fault-injected point could never drain a poisoned chunk).
+  const bool elastic_run = elastic.workers > 1;
+  if (workers_flag && opts.shard_count > 1) {
+    std::fprintf(stderr, "--workers and --shard are mutually exclusive: the "
+                         "elastic controller leases the whole plan\n%s",
+                 kUsage);
+    return 2;
+  }
+  if (workers_flag && opts.fail_fast) {
+    std::fprintf(stderr, "--workers is incompatible with --strict: elastic "
+                         "workers must contain failures as FAIL rows\n%s",
+                 kUsage);
+    return 2;
+  }
+  if (elastic_tuning && !workers_flag) {
+    std::fprintf(stderr,
+                 "--lease-points / --heartbeat-ms / --straggler-factor "
+                 "tune the elastic controller; add --workers N\n%s",
+                 kUsage);
+    return 2;
   }
 
   // MUSA_TRACE supplies a default trace path when --trace-out is absent —
@@ -339,7 +482,24 @@ int main(int argc, char** argv) {
                  "set MUSA_DSE_CACHE\n");
     return 2;
   }
-  core::DseEngine dse(pipeline, bench::dse_cache_path(), opts);
+  if (elastic_run && bench::dse_cache_path().empty()) {
+    std::fprintf(stderr,
+                 "--workers needs a cache path: worker results travel "
+                 "through its journals; set MUSA_DSE_CACHE\n");
+    return 2;
+  }
+  if (elastic_run && !sweep::elastic_supported()) {
+    std::fprintf(stderr,
+                 "--workers needs fork + socketpair; this platform has "
+                 "neither — run without it\n");
+    return 2;
+  }
+  // The elastic finalize pass never retries FAIL rows: a --retry-failed
+  // elastic run already handed the quarantined keys back to the workers,
+  // so retrying again in-process would compute them a third time.
+  core::SweepOptions finalize_opts = opts;
+  if (elastic_run) finalize_opts.retry_failed = false;
+  core::DseEngine dse(pipeline, bench::dse_cache_path(), finalize_opts);
 
   if (bench_sweep)
     std::printf("MUSA-DSE bench sweep (24 configs x 1 app = 24 points)\n");
@@ -348,6 +508,11 @@ int main(int argc, char** argv) {
   std::printf("cache file: %s\n", bench::dse_cache_path().c_str());
   if (opts.shard_count > 1)
     std::printf("shard %d of %d\n", opts.shard_index, opts.shard_count);
+  if (elastic_run)
+    std::printf("elastic controller: %d workers, %d-point leases, "
+                "heartbeat %.0fms, straggler factor %.1fx\n",
+                elastic.workers, elastic.lease_points,
+                elastic.heartbeat_s * 1e3, elastic.straggler_factor);
   if (opts.point_timeout_s > 0.0)
     std::printf("per-point watchdog: %.3gs\n", opts.point_timeout_s);
   if (!trace_out.empty()) {
@@ -365,7 +530,22 @@ int main(int argc, char** argv) {
 
   core::SweepReport rep;
   try {
-    rep = dse.sweep(force);
+    if (elastic_run) {
+      // Lease phase first: workers resolve every pending key into durable
+      // journal rows. --force must discard *before* the controller runs or
+      // the finalize sweep would throw the workers' journals away.
+      if (force) dse.clear_cache();
+      elastic.trace_path = trace_out;
+      sweep::ElasticController controller(pipeline, bench::dse_cache_path(),
+                                          opts, elastic);
+      print_elastic(controller.run());
+      // Finalize: a plain in-process sweep merges the worker journals,
+      // recomputes any residue, and writes the cache — the same authority
+      // a fault-free single-process run ends with.
+      rep = dse.sweep(/*force=*/false);
+    } else {
+      rep = dse.sweep(force);
+    }
   } catch (const SimError& e) {
     std::fprintf(stderr, "sweep aborted%s: %s\n",
                  opts.fail_fast ? " (--strict)" : "", e.what());

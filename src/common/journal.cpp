@@ -48,6 +48,10 @@ constexpr const char* kMagic = "musa-journal v1";
 constexpr const char* kFailPrefix = "FAIL!";
 constexpr std::size_t kFailCells = 4;
 constexpr std::size_t kFailMessageMax = 240;
+/// Reserved key prefix marking a lease-lifecycle record; its payload is the
+/// fixed six-cell {event, chunk, worker, begin, end, detail} schema.
+constexpr const char* kLeasePrefix = "LEASE!";
+constexpr std::size_t kLeaseCells = 6;
 
 std::string join(const std::vector<std::string>& cells, char sep) {
   std::string out;
@@ -93,6 +97,10 @@ bool has_fail_prefix(const std::string& key) {
   return key.compare(0, std::strlen(kFailPrefix), kFailPrefix) == 0;
 }
 
+bool has_lease_prefix(const std::string& key) {
+  return key.compare(0, std::strlen(kLeasePrefix), kLeasePrefix) == 0;
+}
+
 /// Exception texts are arbitrary; make them record-safe instead of letting
 /// a comma in a message abort the quarantine path.
 std::string sanitize_message(std::string msg) {
@@ -119,7 +127,69 @@ ResultJournal::FailRecord parse_fail(const std::vector<std::string>& cells) {
   return fail;
 }
 
+std::vector<std::string> lease_cells(const LeaseRecord& lease) {
+  return {sanitize_message(lease.event), std::to_string(lease.chunk),
+          std::to_string(lease.worker), std::to_string(lease.begin),
+          std::to_string(lease.end), sanitize_message(lease.detail)};
+}
+
+LeaseRecord parse_lease(const std::vector<std::string>& cells) {
+  LeaseRecord lease;
+  lease.event = cells[0];
+  lease.chunk = std::atoi(cells[1].c_str());
+  lease.worker = std::atoi(cells[2].c_str());
+  lease.begin = std::strtoull(cells[3].c_str(), nullptr, 10);
+  lease.end = std::strtoull(cells[4].c_str(), nullptr, 10);
+  lease.detail = cells[5];
+  return lease;
+}
+
+/// One parsed journal record line. kBad covers every reject: wrong part
+/// count, checksum mismatch, wrong cell width for the key's record type.
+struct ParsedRecord {
+  enum class Kind { kBad, kEntry, kFail, kLease };
+  Kind kind = Kind::kBad;
+  std::string key;                 // entry key, or FAIL key prefix-stripped
+  std::vector<std::string> cells;  // entry row or FAIL payload
+  LeaseRecord lease;
+};
+
+ParsedRecord parse_record(const std::string& line,
+                          const std::vector<std::string>& header) {
+  ParsedRecord rec;
+  const std::vector<std::string> parts = split(line, '\t');
+  if (parts.size() != 3) return rec;
+  const std::string payload = parts[0] + '\t' + parts[1];
+  if (hex64(fnv1a64(payload)) != parts[2]) return rec;
+  std::vector<std::string> cells = split(parts[1], ',');
+  if (has_fail_prefix(parts[0])) {
+    if (cells.size() != kFailCells) return rec;
+    rec.kind = ParsedRecord::Kind::kFail;
+    rec.key = parts[0].substr(std::strlen(kFailPrefix));
+    rec.cells = std::move(cells);
+    return rec;
+  }
+  if (has_lease_prefix(parts[0])) {
+    if (cells.size() != kLeaseCells) return rec;
+    rec.kind = ParsedRecord::Kind::kLease;
+    rec.lease = parse_lease(cells);
+    return rec;
+  }
+  if (cells.size() != header.size()) return rec;
+  rec.kind = ParsedRecord::Kind::kEntry;
+  rec.key = parts[0];
+  rec.cells = std::move(cells);
+  return rec;
+}
+
 }  // namespace
+
+bool known_lease_event(const std::string& event) {
+  for (const char* known : {"granted", "revoked", "committed", "spawned",
+                            "respawned", "killed", "inprocess", "abandoned"})
+    if (event == known) return true;
+  return false;
+}
 
 std::uint64_t fnv1a64(const std::string& data) {
   std::uint64_t h = 14695981039346656037ull;
@@ -147,30 +217,21 @@ ResultJournal::LoadResult ResultJournal::read(
   }
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const std::vector<std::string> parts = split(line, '\t');
-    if (parts.size() != 3) {
-      ++out.dropped;
-      continue;
-    }
-    const std::string payload = parts[0] + '\t' + parts[1];
-    if (hex64(fnv1a64(payload)) != parts[2]) {
-      ++out.dropped;
-      continue;
-    }
-    std::vector<std::string> cells = split(parts[1], ',');
-    if (has_fail_prefix(parts[0])) {
-      if (cells.size() != kFailCells) {
+    ParsedRecord rec = parse_record(line, header);
+    switch (rec.kind) {
+      case ParsedRecord::Kind::kBad:
         ++out.dropped;
-        continue;
-      }
-      out.fails[parts[0].substr(std::strlen(kFailPrefix))] = parse_fail(cells);
-      continue;
+        break;
+      case ParsedRecord::Kind::kFail:
+        out.fails[rec.key] = parse_fail(rec.cells);
+        break;
+      case ParsedRecord::Kind::kLease:
+        out.leases.push_back(std::move(rec.lease));
+        break;
+      case ParsedRecord::Kind::kEntry:
+        out.entries[rec.key] = std::move(rec.cells);
+        break;
     }
-    if (cells.size() != header.size()) {
-      ++out.dropped;
-      continue;
-    }
-    out.entries[parts[0]] = std::move(cells);
   }
   // A file that ends without a final newline has a truncated tail record;
   // the checksum (or part count) already rejected it above.
@@ -199,17 +260,23 @@ ResultJournal::ResultJournal(std::string path, std::vector<std::string> header)
   }
   entries_ = std::move(loaded.entries);
   fails_ = std::move(loaded.fails);
+  leases_ = std::move(loaded.leases);
   dropped_ = loaded.dropped;
   if (dropped_ > 0) dropped_records().add(dropped_);
 
   // Compact: rewrite only the valid records so a corrupt tail from a crash
   // (or a stale-schema file) cannot collide with the next append. Surviving
   // FAIL rows (quarantines without a good row) are kept — they are what
-  // --retry-failed and the quarantine report resume from.
+  // --retry-failed and the quarantine report resume from — and lease
+  // records are kept in order (renumbered): they are the controller's
+  // audit log across restarts.
   std::string text = std::string(kMagic) + '\n' + join(header_, ',') + '\n';
   for (const auto& [key, cells] : entries_) text += record_line(key, cells);
   for (const auto& [key, fail] : fails_)
     text += record_line(kFailPrefix + key, fail_cells(fail));
+  for (std::size_t i = 0; i < leases_.size(); ++i)
+    text += record_line(kLeasePrefix + std::to_string(i),
+                        lease_cells(leases_[i]));
   atomic_write_file(path_, text);
   out_ = std::make_unique<DurableAppender>(path_);
 }
@@ -226,6 +293,8 @@ void ResultJournal::append(const std::string& key,
                    "journal cell contains a delimiter: " + cell);
   MUSA_CHECK_MSG(!has_fail_prefix(key),
                  "journal key collides with the FAIL prefix: " + key);
+  MUSA_CHECK_MSG(!has_lease_prefix(key),
+                 "journal key collides with the LEASE prefix: " + key);
   const std::string line = record_line(key, row);
   obs::Span span("journal.append", key);
   const auto t0 = std::chrono::steady_clock::now();
@@ -270,6 +339,19 @@ void ResultJournal::append_fail(const std::string& key,
   if (entries_.count(key) == 0) fails_[key] = std::move(clean);
 }
 
+void ResultJournal::append_lease(const LeaseRecord& lease) {
+  LeaseRecord clean = lease;
+  clean.event = sanitize_message(clean.event);
+  clean.detail = sanitize_message(clean.detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  MUSA_CHECK_MSG(out_ != nullptr, "append on a discarded journal");
+  // The sequence number only keeps record keys distinct; readers recover
+  // order from file position, so renumbering on compaction is harmless.
+  out_->append(record_line(kLeasePrefix + std::to_string(leases_.size()),
+                           lease_cells(clean)));
+  leases_.push_back(std::move(clean));
+}
+
 void ResultJournal::set_append_mutator(AppendMutator mutator) {
   std::lock_guard<std::mutex> lock(mu_);
   mutator_ = std::move(mutator);
@@ -282,6 +364,76 @@ void ResultJournal::discard() {
     out_.reset();
   }
   std::remove(path_.c_str());
+}
+
+JournalTailer::JournalTailer(std::string path,
+                             std::vector<std::string> header)
+    : path_(std::move(path)), header_(std::move(header)) {}
+
+JournalTailer::Batch JournalTailer::poll() {
+  Batch batch;
+  FileStamp stamp;
+  std::string data = read_file_from(path_, offset_, &stamp);
+  if (!stamp.exists) return batch;
+  if (stamp.inode != inode_ || stamp.size < offset_) {
+    // The file was replaced (the owner compacted it: atomic rename swaps
+    // the inode) or truncated. Restart from the top of what is there now —
+    // re-reading records the old incarnation already delivered is safe
+    // because journal consumption is keyed, hence idempotent.
+    inode_ = stamp.inode;
+    offset_ = 0;
+    header_lines_ = 0;
+    schema_bad_ = false;
+    data = read_file_from(path_, 0, &stamp);
+    if (!stamp.exists) return batch;
+    inode_ = stamp.inode;  // replaced again mid-poll; next poll reconciles
+  }
+  if (schema_bad_ || data.empty()) return batch;
+
+  // Consume only complete lines; a partial tail (a writer mid-append, or
+  // killed mid-append) stays unconsumed and is retried next poll once —
+  // if ever — its newline lands.
+  const std::size_t complete = data.rfind('\n');
+  if (complete == std::string::npos) return batch;
+  data.resize(complete + 1);
+  offset_ += data.size();
+
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    const std::size_t eol = data.find('\n', pos);
+    std::string line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (header_lines_ == 0) {
+      if (split(line, '\t')[0] != kMagic) schema_bad_ = true;
+      ++header_lines_;
+      if (schema_bad_) return batch;
+      continue;
+    }
+    if (header_lines_ == 1) {
+      if (split(line, ',') != header_) schema_bad_ = true;
+      ++header_lines_;
+      if (schema_bad_) return batch;
+      continue;
+    }
+    ParsedRecord rec = parse_record(line, header_);
+    switch (rec.kind) {
+      case ParsedRecord::Kind::kBad:
+        ++batch.dropped;
+        break;
+      case ParsedRecord::Kind::kFail:
+        batch.fail_keys.push_back(std::move(rec.key));
+        break;
+      case ParsedRecord::Kind::kLease:
+        batch.leases.push_back(std::move(rec.lease));
+        break;
+      case ParsedRecord::Kind::kEntry:
+        batch.entries.emplace_back(std::move(rec.key), std::move(rec.cells));
+        break;
+    }
+  }
+  return batch;
 }
 
 std::vector<std::string> find_journals(const std::string& artifact_path) {

@@ -1,23 +1,21 @@
 #include "core/dse.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <mutex>
-#include <thread>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "common/csv.hpp"
-#include "common/deadline.hpp"
 #include "common/journal.hpp"
 #include "common/parallel.hpp"
 #include "common/progress.hpp"
 #include "common/stats.hpp"
+#include "core/point_runner.hpp"
 #include "obs/metrics.hpp"
-#include "obs/span.hpp"
 #include "verify/config_rules.hpp"
 #include "verify/faultpoint.hpp"
 #include "verify/invariants.hpp"
@@ -33,21 +31,6 @@ std::string fmt(double v) {
 }
 double num(const std::string& s) { return std::strtod(s.c_str(), nullptr); }
 
-obs::Counter& points_ok() {
-  static obs::Counter& c =
-      obs::MetricRegistry::global().counter("sweep.points.ok");
-  return c;
-}
-obs::Counter& points_quarantined() {
-  static obs::Counter& c =
-      obs::MetricRegistry::global().counter("sweep.points.quarantined");
-  return c;
-}
-obs::Counter& point_retries() {
-  static obs::Counter& c =
-      obs::MetricRegistry::global().counter("sweep.retries");
-  return c;
-}
 obs::Counter& worker_busy_us() {
   static obs::Counter& c =
       obs::MetricRegistry::global().counter("sweep.worker.busy_us");
@@ -161,17 +144,17 @@ std::string DseEngine::point_key(const std::string& app,
   return app + "|" + config.id();
 }
 
-DseEngine::Plan DseEngine::make_plan() const {
-  Plan plan;
-  if (options_.apps.empty()) {
+SweepPlan make_sweep_plan(const SweepOptions& options) {
+  SweepPlan plan;
+  if (options.apps.empty()) {
     for (const auto& app : apps::registry()) plan.app_list.push_back(&app);
   } else {
-    for (const auto& name : options_.apps)
+    for (const auto& name : options.apps)
       plan.app_list.push_back(&apps::find_app(name));
   }
-  if (options_.configs.empty() && options_.axes.has_value()) {
-    const SpaceAxes& axes = *options_.axes;
-    if (options_.verify) {
+  if (options.configs.empty() && options.axes.has_value()) {
+    const SpaceAxes& axes = *options.axes;
+    if (options.verify) {
       // Static space analysis instead of per-point lint: classify the grid
       // box-wise, drop infeasible boxes wholesale, and enumerate only the
       // feasible points — in row-major grid order, so the paper axes
@@ -185,7 +168,7 @@ DseEngine::Plan DseEngine::make_plan() const {
       plan.statically_skipped =
           analysis.total_points - analysis.feasible_points;
       plan.analysis_boxes = analysis.boxes_classified;
-      if (options_.verbose && plan.statically_skipped > 0)
+      if (options.verbose && plan.statically_skipped > 0)
         std::fprintf(
             stderr,
             "[dse] static space analysis: %llu of %llu grid point(s) "
@@ -203,14 +186,14 @@ DseEngine::Plan DseEngine::make_plan() const {
     }
   } else {
     plan.configs =
-        options_.configs.empty() ? ConfigSpace::full_space() : options_.configs;
+        options.configs.empty() ? ConfigSpace::full_space() : options.configs;
   }
   MUSA_CHECK_MSG(!plan.app_list.empty() && !plan.configs.empty(),
                  "empty sweep plan");
   plan.keys.reserve(plan.app_list.size() * plan.configs.size());
   for (const auto* app : plan.app_list)
     for (const auto& config : plan.configs)
-      plan.keys.push_back(point_key(app->name, config));
+      plan.keys.push_back(DseEngine::point_key(app->name, config));
   return plan;
 }
 
@@ -221,7 +204,7 @@ std::string DseEngine::journal_path() const {
 }
 
 bool DseEngine::load_cache(
-    const Plan& plan,
+    const SweepPlan& plan,
     std::vector<std::pair<std::string, std::vector<std::string>>>* salvage,
     std::size_t* invalid_out) {
   // Tolerant parse: a kill -9 during a non-atomic write (e.g. an external
@@ -304,7 +287,7 @@ SweepReport DseEngine::sweep(bool force) {
     ready_ = false;
     results_.clear();
   }
-  const Plan plan = make_plan();
+  const SweepPlan plan = make_sweep_plan(options_);
   // Static config lint before any point simulates: a physically impossible
   // sweep point must fail here, in milliseconds, not hours into the sweep.
   // An analyzer-built plan skips the loop: its boxes are *proved* feasible,
@@ -338,106 +321,10 @@ SweepReport DseEngine::sweep(bool force) {
                             : std::make_shared<StageMemo>(
                                   pipeline_options_fingerprint(
                                       pipeline_.options()));
-  // One point, with containment: a wall-clock budget armed around the whole
-  // pipeline run, bounded retries (with exponential backoff) for transient
-  // io-class failures, and quarantine (a journaled FAIL row) for everything
-  // else. Returns true on success. In fail-fast mode — or when there is no
-  // journal to quarantine into (in-memory sweeps) — failures cancel the
-  // queue and rethrow instead.
-  std::atomic<std::uint64_t> succeeded{0};
-  std::atomic<std::uint64_t> io_retries{0};
-  const auto run_one = [&](Pipeline& local, std::uint64_t idx,
-                           ResultJournal* journal, WorkQueue& queue) {
-    const std::string& key = plan.keys[idx];
-    for (int attempt = 1;; ++attempt) {
-      // One trace span per *attempt*: retried points show as back-to-back
-      // spans with rising attempt numbers, each annotated with how the
-      // attempt ended.
-      obs::Span span("point", key);
-      span.set_attempt(attempt);
-      try {
-        deadline::set_stage("");
-        deadline::Scope budget(options_.point_timeout_s);
-        const SimResult r = local.run(plan.app_of(idx), plan.config_of(idx));
-        // Fresh result: a violated invariant here is a model bug — the
-        // point quarantines as `invariant` (or aborts the sweep in strict
-        // mode) rather than journaling a bad row.
-        if (options_.verify) {
-          deadline::set_stage("verify");
-          verify::verify_result(r);
-        }
-        if (journal) {
-          verify::fault_point("journal.append", key);
-          journal->append(key, to_row(r));
-        } else {
-          results_[idx] = r;  // disjoint slots, race-free
-        }
-        succeeded.fetch_add(1, std::memory_order_relaxed);
-        span.set_outcome(obs::Outcome::kOk);
-        points_ok().add();
-        return true;
-      } catch (const SimError& e) {
-        if (options_.fail_fast || journal == nullptr) {
-          span.set_outcome(obs::Outcome::kFail);
-          queue.cancel();
-          throw;
-        }
-        const ErrorClass cls = e.error_class();
-        if (cls == ErrorClass::kIo && attempt < options_.max_io_attempts) {
-          // Transient: back off and retry the same point in place. The
-          // backoff doubles per attempt; deterministic classes never reach
-          // here (same inputs, same failure).
-          io_retries.fetch_add(1, std::memory_order_relaxed);
-          point_retries().add();
-          span.set_outcome(obs::Outcome::kRetry);
-          obs::instant("retry", key, obs::Outcome::kRetry);
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1))));
-          continue;
-        }
-        ResultJournal::FailRecord fail;
-        fail.error_class = error_class_name(cls);
-        fail.stage =
-            !e.stage().empty() ? e.stage() : deadline::current_stage();
-        fail.attempts = attempt;
-        fail.message = e.what();
-        journal->append_fail(key, fail);
-        span.set_outcome(obs::Outcome::kQuarantined);
-        obs::instant("quarantine", key, obs::Outcome::kQuarantined);
-        points_quarantined().add();
-        if (options_.verbose)
-          std::fprintf(stderr,
-                       "[dse] quarantined %s after %d attempt(s): %s "
-                       "(class %s, stage %s)\n",
-                       key.c_str(), attempt, e.what(),
-                       fail.error_class.c_str(),
-                       fail.stage.empty() ? "unknown" : fail.stage.c_str());
-        return false;
-      } catch (const std::exception& e) {
-        // Foreign exception (bad_alloc, logic_error from a dependency):
-        // contain it like a model-class failure so one point cannot kill
-        // the sweep, unless the caller asked for fail-fast.
-        if (options_.fail_fast || journal == nullptr) {
-          span.set_outcome(obs::Outcome::kFail);
-          queue.cancel();
-          throw;
-        }
-        ResultJournal::FailRecord fail;
-        fail.error_class = error_class_name(ErrorClass::kModel);
-        fail.stage = deadline::current_stage();
-        fail.attempts = attempt;
-        fail.message = e.what();
-        journal->append_fail(key, fail);
-        span.set_outcome(obs::Outcome::kQuarantined);
-        obs::instant("quarantine", key, obs::Outcome::kQuarantined);
-        points_quarantined().add();
-        if (options_.verbose)
-          std::fprintf(stderr, "[dse] quarantined %s: %s\n", key.c_str(),
-                       e.what());
-        return false;
-      }
-    }
-  };
+  // Per-point containment (budget, verify, retry-with-jitter, quarantine)
+  // lives in PointRunner — the same executor the elastic workers run, so
+  // journal rows are byte-identical no matter which process computed them.
+  PointRunner runner(plan, options_);
 
   const auto run_points = [&](const std::vector<std::uint64_t>& todo,
                               ResultJournal* journal) {
@@ -449,6 +336,7 @@ SweepReport DseEngine::sweep(bool force) {
         std::max(1, default_thread_count()), todo.size()));
     std::mutex merge_mu;
     const auto wall_t0 = std::chrono::steady_clock::now();
+    const std::function<void()> cancel_queue = [&queue] { queue.cancel(); };
     parallel_workers(threads, [&](int) {
       Pipeline local(pipeline_.options(), memo);
       // Busy time = wall spent holding a claimed chunk; the gap to
@@ -459,7 +347,8 @@ SweepReport DseEngine::sweep(bool force) {
       while (queue.next(begin, end)) {
         const auto chunk_t0 = std::chrono::steady_clock::now();
         for (std::uint64_t t = begin; t < end; ++t) {
-          run_one(local, todo[t], journal, queue);
+          runner.run(local, todo[t], journal,
+                     journal ? nullptr : &results_[todo[t]], cancel_queue);
           progress.tick();
         }
         busy_us += static_cast<std::uint64_t>(
@@ -475,8 +364,8 @@ SweepReport DseEngine::sweep(bool force) {
     rep.wall_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - wall_t0)
                      .count();
-    rep.computed = succeeded.load();
-    rep.retries = io_retries.load();
+    rep.computed = runner.succeeded();
+    rep.retries = runner.io_retries();
     if (memo) rep.memo = memo->stats();
   };
 

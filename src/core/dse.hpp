@@ -143,6 +143,35 @@ struct SweepOptions {
   std::optional<SpaceAxes> axes;
 };
 
+/// The enumerated sweep plan: app-major over (apps × configs), the same
+/// layout DseEngine::results() uses. Public because the elastic sweep
+/// controller and its workers (src/sweep) must agree with the engine on the
+/// exact point enumeration — both sides build it independently from the
+/// same SweepOptions, and the journal keys line up by construction.
+struct SweepPlan {
+  std::vector<const apps::AppModel*> app_list;
+  std::vector<MachineConfig> configs;
+  std::vector<std::string> keys;  // point_key per plan index
+  bool statically_verified = false;  // configs proved feasible box-wise
+  std::uint64_t statically_skipped = 0;  // grid points the analyzer cut
+  std::uint64_t analysis_boxes = 0;      // boxes it classified doing so
+
+  std::uint64_t size() const { return keys.size(); }
+  const apps::AppModel& app_of(std::uint64_t i) const {
+    return *app_list[i / configs.size()];
+  }
+  const MachineConfig& config_of(std::uint64_t i) const {
+    return configs[i % configs.size()];
+  }
+};
+
+/// Builds the plan a sweep with `options` would run: explicit configs/apps
+/// when given, an analyzer-filtered grid when `options.axes` is set, the
+/// paper's full space otherwise. Deterministic — equal options produce an
+/// identical plan, which is what makes independently-built controller and
+/// worker plans interchangeable.
+SweepPlan make_sweep_plan(const SweepOptions& options);
+
 /// One quarantined sweep point, for the post-sweep report.
 struct QuarantinePoint {
   std::string key;          // "app|config-id"
@@ -246,26 +275,6 @@ class DseEngine {
                          const std::string& baseline);
 
  private:
-  /// The enumerated sweep plan: app-major over (apps × configs), the same
-  /// layout results_ uses.
-  struct Plan {
-    std::vector<const apps::AppModel*> app_list;
-    std::vector<MachineConfig> configs;
-    std::vector<std::string> keys;  // point_key per plan index
-    bool statically_verified = false;  // configs proved feasible box-wise
-    std::uint64_t statically_skipped = 0;  // grid points the analyzer cut
-    std::uint64_t analysis_boxes = 0;      // boxes it classified doing so
-
-    std::uint64_t size() const { return keys.size(); }
-    const apps::AppModel& app_of(std::uint64_t i) const {
-      return *app_list[i / configs.size()];
-    }
-    const MachineConfig& config_of(std::uint64_t i) const {
-      return configs[i % configs.size()];
-    }
-  };
-
-  Plan make_plan() const;
   std::string journal_path() const;
   void ensure_results();
 
@@ -273,7 +282,7 @@ class DseEngine {
   /// set; on success fills results_ (plan order) and returns true. On any
   /// mismatch (missing/duplicate/foreign rows, unparsable rows) salvages
   /// what is valid into `salvage` and returns false.
-  bool load_cache(const Plan& plan,
+  bool load_cache(const SweepPlan& plan,
                   std::vector<std::pair<std::string,
                                         std::vector<std::string>>>* salvage,
                   std::size_t* invalid_out = nullptr);

@@ -1,0 +1,123 @@
+#include "sweep/lease.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace musa::sweep {
+
+LeaseTable::LeaseTable(std::uint64_t point_count,
+                       const ElasticOptions& options)
+    : options_(options) {
+  MUSA_CHECK_MSG(options_.lease_points >= 1, "lease_points must be >= 1");
+  const auto k = static_cast<std::uint64_t>(options_.lease_points);
+  for (std::uint64_t begin = 0; begin < point_count; begin += k) {
+    LeaseChunk c;
+    c.begin = begin;
+    c.end = std::min(point_count, begin + k);
+    chunks_.push_back(c);
+  }
+}
+
+void LeaseTable::add_worker(int worker, double now) { beats_[worker] = now; }
+
+void LeaseTable::remove_worker(int worker) { beats_.erase(worker); }
+
+void LeaseTable::beat(int worker, double now) {
+  const auto it = beats_.find(worker);
+  if (it != beats_.end()) it->second = now;
+}
+
+std::vector<int> LeaseTable::stale_workers(double now) const {
+  std::vector<int> out;
+  for (const auto& [worker, last] : beats_)
+    if (now - last > options_.stale_after_s()) out.push_back(worker);
+  return out;
+}
+
+int LeaseTable::grant(int worker, double now) {
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    LeaseChunk& c = chunks_[i];
+    if (c.phase != LeaseChunk::Phase::kPending) continue;
+    if (c.revocations >= options_.poison_limit) continue;
+    c.phase = LeaseChunk::Phase::kLeased;
+    c.holder = worker;
+    c.granted_at = now;
+    return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool LeaseTable::revoke(int chunk) {
+  LeaseChunk& c = chunks_.at(chunk);
+  if (c.phase != LeaseChunk::Phase::kLeased) return false;
+  c.phase = LeaseChunk::Phase::kPending;
+  c.holder = -1;
+  ++c.revocations;
+  return true;
+}
+
+bool LeaseTable::commit(int chunk, double now) {
+  LeaseChunk& c = chunks_.at(chunk);
+  if (c.phase == LeaseChunk::Phase::kCommitted) return false;
+  if (c.phase == LeaseChunk::Phase::kLeased)
+    durations_.push_back(now - c.granted_at);
+  c.phase = LeaseChunk::Phase::kCommitted;
+  c.holder = -1;
+  ++committed_;
+  return true;
+}
+
+int LeaseTable::held_by(int worker) const {
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i].phase == LeaseChunk::Phase::kLeased &&
+        chunks_[i].holder == worker)
+      return static_cast<int>(i);
+  return -1;
+}
+
+double LeaseTable::median_duration() const {
+  if (durations_.empty()) return 0.0;
+  std::vector<double> d = durations_;
+  std::sort(d.begin(), d.end());
+  return d[d.size() / 2];
+}
+
+std::vector<int> LeaseTable::stragglers(double now) const {
+  std::vector<int> out;
+  if (durations_.size() < static_cast<std::size_t>(options_.min_medians))
+    return out;
+  const double threshold = std::max(
+      options_.straggler_min_s, options_.straggler_factor * median_duration());
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i].phase == LeaseChunk::Phase::kLeased &&
+        now - chunks_[i].granted_at > threshold)
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> LeaseTable::poisoned_pending() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i].phase == LeaseChunk::Phase::kPending &&
+        chunks_[i].revocations >= options_.poison_limit)
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::vector<int> LeaseTable::pending() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < chunks_.size(); ++i)
+    if (chunks_[i].phase == LeaseChunk::Phase::kPending)
+      out.push_back(static_cast<int>(i));
+  return out;
+}
+
+std::uint64_t LeaseTable::committed_points() const {
+  std::uint64_t n = 0;
+  for (const LeaseChunk& c : chunks_)
+    if (c.phase == LeaseChunk::Phase::kCommitted) n += c.points();
+  return n;
+}
+
+}  // namespace musa::sweep

@@ -1,0 +1,119 @@
+#include "sweep/protocol.hpp"
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace musa::sweep {
+
+std::vector<std::string> split_words(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ' ') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+#ifndef _WIN32
+
+void LineChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool LineChannel::send(const std::string& line) {
+  std::lock_guard<std::mutex> lock(send_mu_);
+  if (fd_ < 0) return false;
+  std::string data = line;
+  data.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    // MSG_NOSIGNAL: a dead peer is an expected condition the caller
+    // handles (that is the whole point of this subsystem), not a SIGPIPE.
+    const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void LineChannel::split_lines(std::vector<std::string>* lines) {
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t eol = inbuf_.find('\n', start);
+    if (eol == std::string::npos) break;
+    lines->push_back(inbuf_.substr(start, eol - start));
+    start = eol + 1;
+  }
+  inbuf_.erase(0, start);
+}
+
+bool LineChannel::drain(std::vector<std::string>* lines) {
+  if (fd_ < 0) return false;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {  // EOF: peer exited; deliver what we have
+      split_lines(lines);
+      return false;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    split_lines(lines);
+    return false;
+  }
+  split_lines(lines);
+  return true;
+}
+
+bool LineChannel::read_line(std::string* line) {
+  if (fd_ < 0) return false;
+  for (;;) {
+    const std::size_t eol = inbuf_.find('\n');
+    if (eol != std::string::npos) {
+      *line = inbuf_.substr(0, eol);
+      inbuf_.erase(0, eol + 1);
+      return true;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      inbuf_.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+}
+
+#else  // _WIN32: the elastic controller is POSIX-only (fork/socketpair)
+
+void LineChannel::close() { fd_ = -1; }
+bool LineChannel::send(const std::string&) { return false; }
+void LineChannel::split_lines(std::vector<std::string>*) {}
+bool LineChannel::drain(std::vector<std::string>*) { return false; }
+bool LineChannel::read_line(std::string*) { return false; }
+
+#endif
+
+}  // namespace musa::sweep

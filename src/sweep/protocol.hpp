@@ -1,0 +1,68 @@
+// Controller ↔ worker wire protocol: newline-delimited text over one
+// AF_UNIX socketpair per worker.
+//
+//   worker → controller   hello <pid>
+//                         beat <chunk> <points-done>     (heartbeat thread)
+//                         done <chunk> <busy-us>
+//   controller → worker   lease <chunk> <offset> <count>
+//                         quit
+//
+// Offsets index the controller's pending-point list, which the worker
+// inherited verbatim through fork — the protocol never ships plan data,
+// only coordinates into it. Text lines keep the protocol greppable in
+// straces and trivially versionable; an unknown verb is ignored by both
+// sides (same skew policy as unknown journal record types: visible to
+// lint, fatal to neither process).
+//
+// The channel is intentionally dumb: send() is mutex-guarded (the worker's
+// compute and heartbeat threads share one fd) and reports peer death as
+// `false` instead of raising SIGPIPE; reads come in two flavors — a
+// blocking read_line() for the worker's command loop and a non-blocking
+// drain() for the controller's poll loop.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace musa::sweep {
+
+class LineChannel {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit LineChannel(int fd) : fd_(fd) {}
+  ~LineChannel() { close(); }
+
+  LineChannel(const LineChannel&) = delete;
+  LineChannel& operator=(const LineChannel&) = delete;
+
+  int fd() const { return fd_; }
+  void close();
+
+  /// Sends `line` plus a trailing newline. False when the peer is gone
+  /// (EPIPE/reset) — never a signal. Thread-safe.
+  bool send(const std::string& line);
+
+  /// Non-blocking read (call after poll(2) reports readable): consumes
+  /// everything available, appends each complete line to `lines`, and
+  /// keeps a partial tail buffered for the next call. Returns false on
+  /// EOF or a hard error, i.e. the peer is gone — lines drained before
+  /// the EOF are still delivered.
+  bool drain(std::vector<std::string>* lines);
+
+  /// Blocking read of one line. False on EOF/error.
+  bool read_line(std::string* line);
+
+ private:
+  /// Moves complete lines out of inbuf_.
+  void split_lines(std::vector<std::string>* lines);
+
+  int fd_ = -1;
+  std::string inbuf_;
+  std::mutex send_mu_;
+};
+
+/// splits "verb a b c" on single spaces; no quoting, empty fields elided.
+std::vector<std::string> split_words(const std::string& line);
+
+}  // namespace musa::sweep
