@@ -11,6 +11,7 @@
 
 #include "common/check.hpp"
 #include "common/fsio.hpp"
+#include "common/parse.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 
@@ -118,13 +119,20 @@ std::vector<std::string> fail_cells(const ResultJournal::FailRecord& fail) {
           std::to_string(fail.attempts), sanitize_message(fail.message)};
 }
 
-ResultJournal::FailRecord parse_fail(const std::vector<std::string>& cells) {
-  ResultJournal::FailRecord fail;
-  fail.error_class = cells[0];
-  fail.stage = cells[1];
-  fail.attempts = std::atoi(cells[2].c_str());
-  fail.message = cells[3];
-  return fail;
+/// Strict FAIL payload decode. A numeric cell that does not parse exactly
+/// (non-numeric, trailing bytes, negative, overflow) fails the whole
+/// record — the checksum proves the bytes are what the writer sent, so a
+/// malformed cell means writer/reader version skew or a writer bug, and
+/// the record is treated like any other corrupt row: dropped and the
+/// point recomputed, never a zero-attempts quarantine.
+bool parse_fail(const std::vector<std::string>& cells,
+                ResultJournal::FailRecord* fail) {
+  if (!parse_int(cells[2], &fail->attempts) || fail->attempts < 0)
+    return false;
+  fail->error_class = cells[0];
+  fail->stage = cells[1];
+  fail->message = cells[3];
+  return true;
 }
 
 std::vector<std::string> lease_cells(const LeaseRecord& lease) {
@@ -133,15 +141,17 @@ std::vector<std::string> lease_cells(const LeaseRecord& lease) {
           std::to_string(lease.end), sanitize_message(lease.detail)};
 }
 
-LeaseRecord parse_lease(const std::vector<std::string>& cells) {
-  LeaseRecord lease;
-  lease.event = cells[0];
-  lease.chunk = std::atoi(cells[1].c_str());
-  lease.worker = std::atoi(cells[2].c_str());
-  lease.begin = std::strtoull(cells[3].c_str(), nullptr, 10);
-  lease.end = std::strtoull(cells[4].c_str(), nullptr, 10);
-  lease.detail = cells[5];
-  return lease;
+/// Strict LEASE payload decode, same policy as parse_fail: a malformed
+/// numeric cell is a checksum-class violation (record dropped + counted),
+/// never a zero-valued lease event that would corrupt the audit trail.
+bool parse_lease(const std::vector<std::string>& cells, LeaseRecord* lease) {
+  if (!parse_int(cells[1], &lease->chunk) || lease->chunk < -1) return false;
+  if (!parse_int(cells[2], &lease->worker) || lease->worker < -1) return false;
+  if (!parse_u64(cells[3], &lease->begin)) return false;
+  if (!parse_u64(cells[4], &lease->end)) return false;
+  lease->event = cells[0];
+  lease->detail = cells[5];
+  return true;
 }
 
 /// One parsed journal record line. kBad covers every reject: wrong part
@@ -150,7 +160,8 @@ struct ParsedRecord {
   enum class Kind { kBad, kEntry, kFail, kLease };
   Kind kind = Kind::kBad;
   std::string key;                 // entry key, or FAIL key prefix-stripped
-  std::vector<std::string> cells;  // entry row or FAIL payload
+  std::vector<std::string> cells;  // entry row cells
+  ResultJournal::FailRecord fail;
   LeaseRecord lease;
 };
 
@@ -164,15 +175,15 @@ ParsedRecord parse_record(const std::string& line,
   std::vector<std::string> cells = split(parts[1], ',');
   if (has_fail_prefix(parts[0])) {
     if (cells.size() != kFailCells) return rec;
+    if (!parse_fail(cells, &rec.fail)) return rec;
     rec.kind = ParsedRecord::Kind::kFail;
     rec.key = parts[0].substr(std::strlen(kFailPrefix));
-    rec.cells = std::move(cells);
     return rec;
   }
   if (has_lease_prefix(parts[0])) {
     if (cells.size() != kLeaseCells) return rec;
+    if (!parse_lease(cells, &rec.lease)) return rec;
     rec.kind = ParsedRecord::Kind::kLease;
-    rec.lease = parse_lease(cells);
     return rec;
   }
   if (cells.size() != header.size()) return rec;
@@ -223,7 +234,7 @@ ResultJournal::LoadResult ResultJournal::read(
         ++out.dropped;
         break;
       case ParsedRecord::Kind::kFail:
-        out.fails[rec.key] = parse_fail(rec.cells);
+        out.fails[rec.key] = std::move(rec.fail);
         break;
       case ParsedRecord::Kind::kLease:
         out.leases.push_back(std::move(rec.lease));
@@ -282,6 +293,24 @@ ResultJournal::ResultJournal(std::string path, std::vector<std::string> header)
 }
 
 ResultJournal::~ResultJournal() = default;
+
+bool ResultJournal::find_row(const std::string& key,
+                             std::vector<std::string>* row) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  if (row != nullptr) *row = it->second;
+  return true;
+}
+
+bool ResultJournal::find_fail(const std::string& key,
+                              FailRecord* fail) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = fails_.find(key);
+  if (it == fails_.end()) return false;
+  if (fail != nullptr) *fail = it->second;
+  return true;
+}
 
 void ResultJournal::append(const std::string& key,
                            const std::vector<std::string>& row) {

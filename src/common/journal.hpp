@@ -117,6 +117,13 @@ class ResultJournal {
     return fails_.count(key) != 0;
   }
 
+  /// Thread-safe single-key lookups, for callers that read the journal
+  /// while other threads append to it (the DSE server answers queries from
+  /// the cache concurrently with computing into it). entries()/fails()
+  /// stay the cheap unlocked views for single-threaded load/merge code.
+  bool find_row(const std::string& key, std::vector<std::string>* row) const;
+  bool find_fail(const std::string& key, FailRecord* fail) const;
+
   /// Appends one record and fsyncs it before returning. Thread-safe. The
   /// key must be line-clean (no tab/newline); cells must be CSV-clean.
   /// A good row retires any in-memory FAIL record for the same key.
@@ -160,7 +167,7 @@ class ResultJournal {
   std::size_t dropped_ = 0;
   std::unique_ptr<class DurableAppender> out_;
   AppendMutator mutator_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
 };
 
 /// Incremental reader for a journal another process is appending to — the

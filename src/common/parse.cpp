@@ -1,0 +1,36 @@
+#include "common/parse.hpp"
+
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
+
+namespace musa {
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  // strtoull alone is not strict enough: it skips leading whitespace,
+  // accepts '+'/'-' (negatives wrap to huge values), and stops at the
+  // first non-digit. Gate on the first byte being a digit and the end
+  // pointer consuming everything.
+  if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno != 0) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_int(const std::string& s, int* out) {
+  const bool neg = !s.empty() && s[0] == '-';
+  const std::size_t first = neg ? 1 : 0;
+  if (s.size() <= first || s[first] < '0' || s[first] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || errno != 0) return false;
+  if (v < INT_MIN || v > INT_MAX) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace musa

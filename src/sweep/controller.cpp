@@ -13,6 +13,7 @@
 #include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/journal.hpp"
+#include "common/parse.hpp"
 #include "common/progress.hpp"
 #include "core/point_runner.hpp"
 #include "obs/metrics.hpp"
@@ -420,8 +421,14 @@ ElasticReport ElasticController::run() {
         } else if (words[0] == "beat") {
           table.beat(p.id, now());
         } else if (words[0] == "done" && words.size() >= 2) {
+          // Strict chunk decode: a malformed field makes the whole line
+          // babble (ignored, like an unknown verb) instead of aliasing to
+          // chunk 0 and committing/revoking a chunk the worker never held.
+          // Recovery needs no message: the tailers still see its rows and
+          // the straggler rule re-leases anything genuinely unfinished.
+          int c = -1;
+          if (!parse_int(words[1], &c)) continue;
           table.beat(p.id, now());
-          const int c = std::atoi(words[1].c_str());
           if (c >= 0 && c < table.chunk_count()) {
             ingest(p);
             if (chunk_covered(c)) {

@@ -53,15 +53,31 @@ bool LineChannel::send(const std::string& line) {
   return true;
 }
 
-void LineChannel::split_lines(std::vector<std::string>* lines) {
+void LineChannel::flag_babbling() {
+  babbling_ = true;
+  inbuf_.clear();  // the over-long tail is garbage by definition
+  close();
+}
+
+bool LineChannel::split_lines(std::vector<std::string>* lines) {
   std::size_t start = 0;
   for (;;) {
     const std::size_t eol = inbuf_.find('\n', start);
     if (eol == std::string::npos) break;
+    if (eol - start > kMaxLineBytes) {  // complete but absurd: babble
+      inbuf_.erase(0, start);
+      flag_babbling();
+      return false;
+    }
     lines->push_back(inbuf_.substr(start, eol - start));
     start = eol + 1;
   }
   inbuf_.erase(0, start);
+  if (inbuf_.size() > kMaxLineBytes) {  // newline-less flood
+    flag_babbling();
+    return false;
+  }
+  return true;
 }
 
 bool LineChannel::drain(std::vector<std::string>* lines) {
@@ -71,6 +87,9 @@ bool LineChannel::drain(std::vector<std::string>* lines) {
     const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
     if (n > 0) {
       inbuf_.append(buf, static_cast<std::size_t>(n));
+      // Split as we go so a flood is cut off at the first over-long line
+      // instead of after the kernel buffer has been fully slurped.
+      if (!split_lines(lines)) return false;
       continue;
     }
     if (n == 0) {  // EOF: peer exited; deliver what we have
@@ -82,8 +101,7 @@ bool LineChannel::drain(std::vector<std::string>* lines) {
     split_lines(lines);
     return false;
   }
-  split_lines(lines);
-  return true;
+  return split_lines(lines);
 }
 
 bool LineChannel::read_line(std::string* line) {
@@ -91,9 +109,17 @@ bool LineChannel::read_line(std::string* line) {
   for (;;) {
     const std::size_t eol = inbuf_.find('\n');
     if (eol != std::string::npos) {
+      if (eol > kMaxLineBytes) {
+        flag_babbling();
+        return false;
+      }
       *line = inbuf_.substr(0, eol);
       inbuf_.erase(0, eol + 1);
       return true;
+    }
+    if (inbuf_.size() > kMaxLineBytes) {
+      flag_babbling();
+      return false;
     }
     char buf[4096];
     const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
@@ -110,7 +136,8 @@ bool LineChannel::read_line(std::string* line) {
 
 void LineChannel::close() { fd_ = -1; }
 bool LineChannel::send(const std::string&) { return false; }
-void LineChannel::split_lines(std::vector<std::string>*) {}
+void LineChannel::flag_babbling() {}
+bool LineChannel::split_lines(std::vector<std::string>*) { return false; }
 bool LineChannel::drain(std::vector<std::string>*) { return false; }
 bool LineChannel::read_line(std::string*) { return false; }
 

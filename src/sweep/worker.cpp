@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "common/journal.hpp"
+#include "common/parse.hpp"
 #include "core/point_runner.hpp"
 #include "obs/export.hpp"
 #include "obs/span.hpp"
@@ -139,11 +140,16 @@ int worker_main(int fd, const WorkerEnv& env) {
     if (words[0] == "quit") break;
     if (words[0] != "lease" || words.size() < 4) continue;  // version skew
 
-    const int chunk = std::atoi(words[1].c_str());
-    const auto offset = static_cast<std::uint64_t>(
-        std::strtoull(words[2].c_str(), nullptr, 10));
-    const auto count = static_cast<std::uint64_t>(
-        std::strtoull(words[3].c_str(), nullptr, 10));
+    // Strict field decode: a lease whose chunk/offset/count do not parse
+    // exactly is babble — atoi-style aliasing to chunk 0 would make this
+    // worker silently recompute (and beat for) a chunk nobody leased it.
+    // Per the version-skew policy the whole line is ignored; the
+    // controller's straggler rule re-leases whatever it thinks we hold.
+    int chunk = 0;
+    std::uint64_t offset = 0, count = 0;
+    if (!parse_int(words[1], &chunk) || chunk < 0 ||
+        !parse_u64(words[2], &offset) || !parse_u64(words[3], &count))
+      continue;
     current_chunk.store(chunk);
 
     // Process-level chaos, keyed by chunk so the *same* chunks are cursed

@@ -18,6 +18,7 @@
 #include "common/csv.hpp"
 #include "common/flat_table.hpp"
 #include "common/parallel.hpp"
+#include "common/parse.hpp"
 #include "common/progress.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -464,6 +465,56 @@ TEST(FlatTable64, ClearEmptiesButKeepsCapacity) {
   EXPECT_EQ(t.find(5), nullptr);
   t.insert(5, 2);
   EXPECT_EQ(*t.find(5), 2);
+}
+
+
+// ---- Strict wire/journal field parsers (common/parse.hpp) ------------------
+//
+// Every rejection case here is a line the old atoi-style decoding would
+// have silently turned into 0 — a *valid* chunk id / offset / attempt
+// count — before the hardening pass. The matrix pins the full-consume
+// contract both parsers share.
+
+TEST(Parse, U64AcceptsOnlyWholeDecimalNumbers) {
+  std::uint64_t v = 99;
+  EXPECT_TRUE(parse_u64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", &v));  // UINT64_MAX
+  EXPECT_EQ(v, 18446744073709551615ull);
+
+  const char* rejected[] = {
+      "",      " ",      " 1",   "1 ",    "+1",    "-1",   "- 1",
+      "1.5",   "1e3",    "0x10", "12abc", "abc",   "\t7",  "7\n",
+      "18446744073709551616",  // UINT64_MAX + 1
+      "99999999999999999999999999",
+  };
+  for (const char* s : rejected) {
+    v = 7;
+    EXPECT_FALSE(parse_u64(s, &v)) << "accepted: [" << s << "]";
+  }
+}
+
+TEST(Parse, IntAcceptsOptionalMinusAndEnforcesRange) {
+  int v = 99;
+  EXPECT_TRUE(parse_int("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(parse_int("-1", &v));
+  EXPECT_EQ(v, -1);
+  EXPECT_TRUE(parse_int("2147483647", &v));
+  EXPECT_EQ(v, 2147483647);
+  EXPECT_TRUE(parse_int("-2147483648", &v));
+  EXPECT_EQ(v, -2147483648);
+
+  const char* rejected[] = {
+      "",   "-",   "--1",  "+1",  " 1",  "1 ",  "1.0",
+      "2147483648", "-2147483649", "12x", "0x1",
+  };
+  for (const char* s : rejected) {
+    v = 7;
+    EXPECT_FALSE(parse_int(s, &v)) << "accepted: [" << s << "]";
+  }
 }
 
 }  // namespace

@@ -11,7 +11,14 @@
 // real enough to cover fork/socketpair/journal plumbing end to end.
 #include <gtest/gtest.h>
 
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
 #include <cstdio>
+#include <memory>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -22,6 +29,7 @@
 #include "core/pipeline.hpp"
 #include "core/point_runner.hpp"
 #include "sweep/controller.hpp"
+#include "sweep/protocol.hpp"
 #include "sweep/lease.hpp"
 #include "sweep/worker.hpp"
 #include "verify/faultpoint.hpp"
@@ -485,6 +493,123 @@ TEST(ElasticController, RejectsShardedPlansAndEmptyCache) {
   EXPECT_THROW(
       sweep::ElasticController(pipeline, "", tiny_sweep(), fast_elastic(2)),
       SimError);
+}
+
+
+// ---- LineChannel: malformed-frame hardening (babble cap) -------------------
+//
+// The elastic wire predates network exposure: a worker is our own forked
+// binary. The DSE server puts arbitrary clients on the same framing, so
+// the channel enforces kMaxLineBytes — lines beyond it mark the peer
+// babbling and close the connection, with the receive buffer provably
+// bounded throughout.
+
+/// A connected AF_UNIX pair: `writer` sends raw bytes, `ch` is the channel
+/// under test. The channel end is non-blocking, like every poll-driven
+/// channel in the controller and the server.
+struct ChannelPair {
+  ChannelPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    EXPECT_EQ(::fcntl(fds[1], F_SETFL, O_NONBLOCK), 0);
+    writer = fds[0];
+    ch = std::make_unique<sweep::LineChannel>(fds[1]);
+  }
+  ~ChannelPair() {
+    if (writer >= 0) ::close(writer);
+  }
+  void write(const std::string& data) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = ::send(writer, data.data() + off, data.size() - off,
+                               MSG_NOSIGNAL);
+      ASSERT_GT(n, 0);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  int writer = -1;
+  std::unique_ptr<sweep::LineChannel> ch;
+};
+
+TEST(LineChannel, DeliversCompleteLinesAndBuffersThePartialTail) {
+  ChannelPair pair;
+  pair.write("one\ntwo\npart");
+  std::vector<std::string> lines;
+  EXPECT_TRUE(pair.ch->drain(&lines));
+  EXPECT_EQ(lines, (std::vector<std::string>{"one", "two"}));
+  EXPECT_EQ(pair.ch->buffered(), 4u);
+  EXPECT_FALSE(pair.ch->babbling());
+  pair.write("ial\n");
+  lines.clear();
+  EXPECT_TRUE(pair.ch->drain(&lines));
+  EXPECT_EQ(lines, (std::vector<std::string>{"partial"}));
+  EXPECT_EQ(pair.ch->buffered(), 0u);
+}
+
+TEST(LineChannel, LineAtExactlyTheCapIsDelivered) {
+  ChannelPair pair;
+  const std::string max_line(sweep::LineChannel::kMaxLineBytes, 'a');
+  pair.write(max_line + "\n");
+  std::vector<std::string> lines;
+  EXPECT_TRUE(pair.ch->drain(&lines));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].size(), sweep::LineChannel::kMaxLineBytes);
+  EXPECT_FALSE(pair.ch->babbling());
+}
+
+TEST(LineChannel, OverlongCompleteLineFlagsBabblingAfterGoodLines) {
+  ChannelPair pair;
+  pair.write("good\n" +
+             std::string(sweep::LineChannel::kMaxLineBytes + 1, 'x') +
+             "\n");
+  std::vector<std::string> lines;
+  EXPECT_FALSE(pair.ch->drain(&lines));
+  // Lines completed before the flood are still delivered; the over-long
+  // one is not, and the channel is closed with its buffer discarded.
+  EXPECT_EQ(lines, (std::vector<std::string>{"good"}));
+  EXPECT_TRUE(pair.ch->babbling());
+  EXPECT_EQ(pair.ch->buffered(), 0u);
+  EXPECT_LT(pair.ch->fd(), 0);
+}
+
+TEST(LineChannel, NewlinelessFloodIsCutOffWithBoundedBuffering) {
+  ChannelPair pair;
+  const std::string chunk(4096, 'z');
+  bool flagged = false;
+  // Feed the flood chunk by chunk, draining as a poll loop would: the
+  // buffer must never exceed the cap at any observation point, and the
+  // channel must flag the peer before the flood grows further.
+  for (int i = 0; i < 64 && !flagged; ++i) {
+    pair.write(chunk);
+    std::vector<std::string> lines;
+    flagged = !pair.ch->drain(&lines);
+    EXPECT_TRUE(lines.empty());
+    EXPECT_LE(pair.ch->buffered(), sweep::LineChannel::kMaxLineBytes);
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_TRUE(pair.ch->babbling());
+  EXPECT_EQ(pair.ch->buffered(), 0u);
+}
+
+TEST(LineChannel, BlockingReadLineEnforcesTheCapToo) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // Both ends blocking — the worker-side read path. The flood is written
+  // in full before the read, so the reader never blocks: the cap trips
+  // first.
+  const std::string flood(sweep::LineChannel::kMaxLineBytes + 1, 'y');
+  std::size_t off = 0;
+  while (off < flood.size()) {
+    const ssize_t n =
+        ::send(fds[0], flood.data() + off, flood.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+  sweep::LineChannel ch(fds[1]);
+  std::string line;
+  EXPECT_FALSE(ch.read_line(&line));
+  EXPECT_TRUE(ch.babbling());
+  ::close(fds[0]);
 }
 
 #endif  // !_WIN32

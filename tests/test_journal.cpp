@@ -349,5 +349,115 @@ TEST(Journal, AppendMutatorCorruptionIsDetectedOnLoad) {
   std::remove(path.c_str());
 }
 
+
+// ---- Strict numeric decode of FAIL / LEASE payloads ------------------------
+//
+// These records carry counters (attempts, chunk ids, point ranges) that
+// the controller trusts. A record whose checksum is *valid* but whose
+// numeric cell is garbage — a forged or bit-rotted-then-rechecksummed
+// line — must be dropped and counted like any corruption, never decoded
+// as zero (zero is a real chunk id and a real attempt count).
+
+/// A correctly checksummed record line for an arbitrary payload — what a
+/// forger (or a buggy external writer) could produce. Mirrors
+/// record_line() using the public fnv1a64.
+std::string forge_line(const std::string& key,
+                       const std::vector<std::string>& cells) {
+  std::string payload = key + '\t';
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) payload += ',';
+    payload += cells[i];
+  }
+  char sum[17];
+  std::snprintf(sum, sizeof sum, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(payload)));
+  return payload + '\t' + sum + '\n';
+}
+
+void append_raw(const std::string& path, const std::string& line) {
+  std::ofstream out(path, std::ios::app | std::ios::binary);
+  out << line;
+}
+
+TEST(Journal, WellFormedForgedFailIsAcceptedProvingTheForgeHelper) {
+  const std::string path = tmp_path("musa_journal_forge_ok.journal");
+  std::remove(path.c_str());
+  { ResultJournal j(path, kHeader); }
+  append_raw(path, forge_line("FAIL!k", {"io", "kernel", "3", "boom"}));
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(lr.dropped, 0u);
+  ASSERT_EQ(lr.fails.size(), 1u);
+  EXPECT_EQ(lr.fails.at("k").attempts, 3);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FailWithMalformedAttemptsIsDroppedNotZeroed) {
+  const std::string path = tmp_path("musa_journal_forge_fail.journal");
+  std::remove(path.c_str());
+  { ResultJournal j(path, kHeader); }
+  // One malformed numeric cell per line; every line checksums correctly.
+  append_raw(path, forge_line("FAIL!a", {"io", "kernel", "3x7", "m"}));
+  append_raw(path, forge_line("FAIL!b", {"io", "kernel", "", "m"}));
+  append_raw(path, forge_line("FAIL!c", {"io", "kernel", "-2", "m"}));
+  append_raw(path, forge_line("FAIL!d", {"io", "kernel", " 3", "m"}));
+  append_raw(path, forge_line("FAIL!e", {"io", "kernel", "1e2", "m"}));
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_TRUE(lr.fails.empty());
+  EXPECT_EQ(lr.dropped, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, LeaseWithMalformedNumericCellsIsDropped) {
+  const std::string path = tmp_path("musa_journal_forge_lease.journal");
+  std::remove(path.c_str());
+  { ResultJournal j(path, kHeader); }
+  // Cell order: event, chunk, worker, begin, end, detail.
+  append_raw(path,
+             forge_line("LEASE!0", {"granted", "abc", "0", "0", "4", "d"}));
+  append_raw(path,
+             forge_line("LEASE!1", {"granted", "0", "1.5", "0", "4", "d"}));
+  append_raw(path,
+             forge_line("LEASE!2", {"granted", "0", "0", "-1", "4", "d"}));
+  append_raw(path,
+             forge_line("LEASE!3", {"granted", "0", "0", "0", "+4", "d"}));
+  // chunk/worker may legitimately be -1 (sentinels); below that is forged.
+  append_raw(path,
+             forge_line("LEASE!4", {"granted", "-2", "0", "0", "4", "d"}));
+  // And one good line to prove the reader still accepts real records.
+  append_raw(path,
+             forge_line("LEASE!5", {"granted", "-1", "2", "0", "4", "d"}));
+  const auto lr = ResultJournal::read(path, kHeader);
+  EXPECT_EQ(lr.dropped, 5u);
+  ASSERT_EQ(lr.leases.size(), 1u);
+  EXPECT_EQ(lr.leases[0].chunk, -1);
+  EXPECT_EQ(lr.leases[0].worker, 2);
+  EXPECT_EQ(lr.leases[0].end, 4u);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FindRowAndFindFailMatchTheUnlockedViews) {
+  // The thread-safe lookups the DSE server uses must agree with the plain
+  // entries()/fails() views single-threaded code reads.
+  const std::string path = tmp_path("musa_journal_find.journal");
+  std::remove(path.c_str());
+  ResultJournal j(path, kHeader);
+  j.append("good", {"1", "2", "3"});
+  j.append_fail("bad", {"io", "kernel", 2, "m"});
+
+  std::vector<std::string> row;
+  EXPECT_TRUE(j.find_row("good", &row));
+  EXPECT_EQ(row, (std::vector<std::string>{"1", "2", "3"}));
+  EXPECT_FALSE(j.find_row("bad", &row));
+  EXPECT_FALSE(j.find_row("missing", &row));
+
+  ResultJournal::FailRecord fail;
+  EXPECT_TRUE(j.find_fail("bad", &fail));
+  EXPECT_EQ(fail.error_class, "io");
+  EXPECT_EQ(fail.attempts, 2);
+  EXPECT_FALSE(j.find_fail("good", &fail));
+  EXPECT_FALSE(j.find_fail("missing", &fail));
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace musa
